@@ -1,0 +1,140 @@
+package barrierpoint_test
+
+import (
+	"errors"
+	"testing"
+
+	"barrierpoint"
+)
+
+// customApp builds a small two-phase workload through the public API only.
+func customApp(threads int, v barrierpoint.Variant) (*barrierpoint.Program, error) {
+	p := barrierpoint.NewProgram("custom")
+	data := p.AddData("field", 16*1024)
+	var mix barrierpoint.OpMix
+	mix[0] = 3 // IntOp
+	mix[1] = 2 // FPAdd
+	mix[4] = 2 // Load
+	mix[6] = 1 // Branch
+	stream := p.AddBlock(barrierpoint.Block{
+		Name: "stream", Mix: mix, Vectorisable: true,
+		LinesPerIter: 0.01, Pattern: barrierpoint.Multi, Data: data,
+	})
+	lookup := p.AddBlock(barrierpoint.Block{
+		Name: "lookup", Mix: mix,
+		LinesPerIter: 0.02, Pattern: barrierpoint.Random, Data: data,
+	})
+	for i := 0; i < 12; i++ {
+		p.AddRegion("stream", barrierpoint.BlockExec{Block: stream, Trips: 400000})
+		p.AddRegion("lookup", barrierpoint.BlockExec{Block: lookup, Trips: 250000})
+	}
+	p.Finalise()
+	return p, p.Validate()
+}
+
+func TestPublicWorkflowEndToEnd(t *testing.T) {
+	cfg := barrierpoint.DefaultDiscovery(2, false, 99)
+	cfg.Runs = 2
+	sets, err := barrierpoint.Discover(customApp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 || sets[0].TotalPoints != 24 {
+		t.Fatalf("unexpected discovery outcome: %d sets, %d points", len(sets), sets[0].TotalPoints)
+	}
+	for _, variant := range barrierpoint.Variants() {
+		col, err := barrierpoint.Collect(customApp, barrierpoint.CollectConfig{
+			Variant: variant, Threads: 2, Reps: 10, Seed: 5,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		v, err := barrierpoint.Validate(&sets[0], col)
+		if err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		if v.AvgAbsErrPct[barrierpoint.Instructions] > 5 {
+			t.Errorf("%s: instruction error %.2f%% too high for a regular workload",
+				variant, v.AvgAbsErrPct[barrierpoint.Instructions])
+		}
+	}
+}
+
+func TestPublicRunStudy(t *testing.T) {
+	res, err := barrierpoint.RunStudy("custom", customApp, barrierpoint.StudyConfig{
+		Threads: 2, Runs: 2, Reps: 5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.BestEval()
+	if best.X86 == nil || best.ARM == nil {
+		t.Fatal("study should validate on both architectures")
+	}
+	if !res.Applicability.OK {
+		t.Errorf("custom workload should be applicable: %s", res.Applicability.Reason)
+	}
+}
+
+func TestPublicAppRegistry(t *testing.T) {
+	if len(barrierpoint.Apps()) != 11 {
+		t.Errorf("Apps() = %d, want 11", len(barrierpoint.Apps()))
+	}
+	if len(barrierpoint.EvaluatedApps()) != 7 {
+		t.Errorf("EvaluatedApps() = %d, want 7", len(barrierpoint.EvaluatedApps()))
+	}
+	a, err := barrierpoint.AppByName("miniFE")
+	if err != nil || a.Name != "miniFE" {
+		t.Errorf("AppByName failed: %v", err)
+	}
+}
+
+func TestPublicMachines(t *testing.T) {
+	if barrierpoint.IntelI7().ISA.Name != "x86_64" {
+		t.Error("IntelI7 should run x86_64")
+	}
+	if barrierpoint.APMXGene().ISA.Name != "ARMv8" {
+		t.Error("APMXGene should run ARMv8")
+	}
+	if barrierpoint.X8664().VectorLanes64() != 4 || barrierpoint.ARMv8().VectorLanes64() != 2 {
+		t.Error("vector widths wrong through the public API")
+	}
+}
+
+func TestPublicMismatchError(t *testing.T) {
+	// An app whose region count is architecture dependent must surface
+	// ErrRegionCountMismatch through the public API.
+	archDep := func(threads int, v barrierpoint.Variant) (*barrierpoint.Program, error) {
+		p := barrierpoint.NewProgram("archdep")
+		d := p.AddData("d", 1024)
+		var mix barrierpoint.OpMix
+		mix[0] = 2
+		mix[4] = 1
+		b := p.AddBlock(barrierpoint.Block{Name: "b", Mix: mix, LinesPerIter: 0.1,
+			Pattern: barrierpoint.Sequential, Data: d})
+		n := 6
+		if v.ISA.Name == "ARMv8" {
+			n = 7
+		}
+		for i := 0; i < n; i++ {
+			p.AddRegion("r", barrierpoint.BlockExec{Block: b, Trips: 100000})
+		}
+		p.Finalise()
+		return p, p.Validate()
+	}
+	cfg := barrierpoint.DefaultDiscovery(1, false, 1)
+	cfg.Runs = 1
+	sets, err := barrierpoint.Discover(archDep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := barrierpoint.Collect(archDep, barrierpoint.CollectConfig{
+		Variant: barrierpoint.Variant{ISA: barrierpoint.ARMv8()}, Threads: 1, Reps: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := barrierpoint.Reconstruct(&sets[0], col); !errors.Is(err, barrierpoint.ErrRegionCountMismatch) {
+		t.Errorf("want ErrRegionCountMismatch, got %v", err)
+	}
+}

@@ -1,0 +1,196 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation, one benchmark per artefact, plus the ablation studies from
+// DESIGN.md and micro-benchmarks of the core substrates.
+//
+// The experiment benchmarks share one Runner per benchmark (studies are
+// cached after the first iteration), and use the Quick sweep — fewer
+// discovery runs and thread counts than the paper's full configuration.
+// The full sweep is available through:
+//
+//	go run ./cmd/bpexperiments -exp all
+package barrierpoint_test
+
+import (
+	"io"
+	"testing"
+
+	"barrierpoint"
+	"barrierpoint/internal/experiments"
+	"barrierpoint/internal/isa"
+	"barrierpoint/internal/machine"
+	"barrierpoint/internal/omp"
+	"barrierpoint/internal/pin"
+	"barrierpoint/internal/sigvec"
+	"barrierpoint/internal/simpoint"
+	"barrierpoint/internal/xrand"
+)
+
+// sharedRunner caches studies across all experiment benchmarks, so the
+// bench suite pays for each (app, threads, vectorised) study once.
+var sharedRunner = experiments.NewRunner(experiments.Quick())
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	exp, err := experiments.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := exp.Run(sharedRunner, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1AppCatalog regenerates Table I.
+func BenchmarkTable1AppCatalog(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2Machines regenerates Table II.
+func BenchmarkTable2Machines(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3Selection regenerates Table III (barrier points selected
+// per application across configurations and discovery runs).
+func BenchmarkTable3Selection(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTable4Accuracy regenerates Table IV (estimation error and
+// speed-up for the 8-thread configurations).
+func BenchmarkTable4Accuracy(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkFig1MCBPhases regenerates Figure 1 (MCB per-barrier-point CPI
+// and L2D MPKI with two barrier point sets).
+func BenchmarkFig1MCBPhases(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFig2Errors regenerates Figure 2 (estimation error per
+// application, thread count, and prediction target).
+func BenchmarkFig2Errors(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkLimitsApplicability regenerates the Section V-B limitation
+// analysis.
+func BenchmarkLimitsApplicability(b *testing.B) { benchExperiment(b, "limits") }
+
+// BenchmarkOverheadVariability regenerates the Section V-C overhead and
+// variability study.
+func BenchmarkOverheadVariability(b *testing.B) { benchExperiment(b, "overhead") }
+
+// BenchmarkHeadline regenerates the Section VI headline numbers.
+func BenchmarkHeadline(b *testing.B) { benchExperiment(b, "headline") }
+
+// BenchmarkAblationSignature compares BBV+LDV, BBV-only and LDV-only
+// signatures.
+func BenchmarkAblationSignature(b *testing.B) { benchExperiment(b, "ablation-signature") }
+
+// BenchmarkAblationDropInsignificant reproduces the keep-all-points
+// decision.
+func BenchmarkAblationDropInsignificant(b *testing.B) { benchExperiment(b, "ablation-drop") }
+
+// BenchmarkAblationDiscoveryRuns sweeps the number of discovery runs.
+func BenchmarkAblationDiscoveryRuns(b *testing.B) { benchExperiment(b, "ablation-runs") }
+
+// BenchmarkAblationProjectionDim sweeps the signature projection dimension.
+func BenchmarkAblationProjectionDim(b *testing.B) { benchExperiment(b, "ablation-dim") }
+
+// BenchmarkFutureWorkCoreTypes validates selections on in-order vs
+// out-of-order target cores (Section VIII).
+func BenchmarkFutureWorkCoreTypes(b *testing.B) { benchExperiment(b, "fw-coretypes") }
+
+// BenchmarkFutureWorkCoarsen fuses LULESH's short regions (Section VIII).
+func BenchmarkFutureWorkCoarsen(b *testing.B) { benchExperiment(b, "fw-coarsen") }
+
+// BenchmarkFutureWorkMultiplex measures the counter-multiplexing cost
+// (Section VIII).
+func BenchmarkFutureWorkMultiplex(b *testing.B) { benchExperiment(b, "fw-multiplex") }
+
+// BenchmarkFutureWorkRefine splits RSBench's single region into intervals
+// (Section V-B).
+func BenchmarkFutureWorkRefine(b *testing.B) { benchExperiment(b, "fw-refine") }
+
+// BenchmarkFutureWorkISADiff quantifies cross-ISA instruction and cycle
+// ratios (Section VIII).
+func BenchmarkFutureWorkISADiff(b *testing.B) { benchExperiment(b, "fw-isadiff") }
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkNativeRunHPCG measures one full native (uninstrumented) machine
+// run of HPCG on the Intel model with 8 threads.
+func BenchmarkNativeRunHPCG(b *testing.B) {
+	app, err := barrierpoint.AppByName("HPCG")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := isa.Variant{ISA: isa.X8664()}
+	prog, err := app.Build(8, v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := omp.Config{Machine: machine.IntelI7(), Variant: v, Threads: 8, WarmCaches: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := omp.Run(prog, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPinInstrumentedRunHPCG measures one discovery run with full
+// BBV+LDV collection.
+func BenchmarkPinInstrumentedRunHPCG(b *testing.B) {
+	app, err := barrierpoint.AppByName("HPCG")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := isa.Variant{ISA: isa.X8664()}
+	prog, err := app.Build(8, v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := omp.Config{Machine: machine.IntelI7(), Variant: v, Threads: 8, WarmCaches: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := pin.Stream(prog, cfg, pin.Options{}, func(pin.Signature) { n++ })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKMeansClustering measures SimPoint-style clustering of 1000
+// signature points.
+func BenchmarkKMeansClustering(b *testing.B) {
+	rng := xrand.New(1)
+	points := make([]simpoint.Point, 1000)
+	for i := range points {
+		vec := make([]float64, 30)
+		centre := float64(i % 7)
+		for j := range vec {
+			vec[j] = centre + 0.05*rng.NormFloat64()
+		}
+		points[i] = simpoint.Point{Vec: vec, Weight: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simpoint.Cluster(points, simpoint.DefaultConfig(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignatureProjection measures signature vector construction for
+// a realistic BBV/LDV size (40 blocks x 8 threads, 20 bins x 8 threads).
+func BenchmarkSignatureProjection(b *testing.B) {
+	rng := xrand.New(2)
+	bbv := make([]float64, 40*8)
+	ldv := make([]float64, 20*8)
+	for i := range bbv {
+		bbv[i] = rng.Float64() * 1000
+	}
+	for i := range ldv {
+		ldv[i] = rng.Float64() * 1000
+	}
+	opts := sigvec.DefaultOptions(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sigvec.Build(bbv, ldv, opts)
+	}
+}

@@ -1,0 +1,70 @@
+// Command bpexperiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	bpexperiments -exp table4          # one experiment
+//	bpexperiments -exp all             # everything (slow: full sweep)
+//	bpexperiments -exp fig2 -quick     # reduced sweep for a fast look
+//	bpexperiments -list                # available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"barrierpoint/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment name (see -list) or 'all'")
+		quick = flag.Bool("quick", false, "reduced sweep: fewer discovery runs and thread counts")
+		seed  = flag.Uint64("seed", 2017, "experiment seed")
+		runs  = flag.Int("runs", 0, "override discovery runs (0 = preset)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-9s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	runner := experiments.NewRunner(cfg)
+
+	var selected []experiments.Experiment
+	if *exp == "all" {
+		selected = experiments.All()
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			e, err := experiments.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bpexperiments:", err)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		if err := e.Run(runner, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "bpexperiments: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,124 @@
+// Command bpoint runs the cross-architectural BarrierPoint workflow for a
+// single application and configuration and prints the discovered barrier
+// point sets, the estimation errors on both platforms, and the
+// simulation-time accounting.
+//
+// Usage:
+//
+//	bpoint -app HPCG -threads 8 -vect -runs 10 -reps 20 -seed 2017
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"barrierpoint"
+	"barrierpoint/internal/machine"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "HPCG", "application name from Table I (see -list)")
+		threads  = flag.Int("threads", 8, "thread count (1, 2, 4 or 8)")
+		vect     = flag.Bool("vect", false, "use the vectorised binary variants")
+		runs     = flag.Int("runs", 10, "barrier point discovery runs")
+		reps     = flag.Int("reps", 20, "measurement repetitions")
+		seed     = flag.Uint64("seed", 2017, "experiment seed")
+		list     = flag.Bool("list", false, "list available applications and exit")
+		all      = flag.Bool("all", false, "show every discovered set, not only the best")
+		jsonOut  = flag.Bool("json", false, "emit the study summary as JSON")
+		describe = flag.Bool("describe", false, "describe the workload's structure and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range barrierpoint.Apps() {
+			marker := " "
+			if a.EvaluatedInPaper {
+				marker = "*"
+			}
+			fmt.Printf("%s %-11s %s\n", marker, a.Name, a.Description)
+		}
+		fmt.Println("\n* = part of the paper's evaluation (Table III/IV, Figure 2)")
+		return
+	}
+
+	a, err := barrierpoint.AppByName(*app)
+	if err != nil {
+		fail(err)
+	}
+	if *describe {
+		variant := barrierpoint.Variant{ISA: barrierpoint.X8664(), Vectorised: *vect}
+		prog, err := a.Build(*threads, variant)
+		if err != nil {
+			fail(err)
+		}
+		barrierpoint.Describe(os.Stdout, prog, variant)
+		return
+	}
+	if !*jsonOut {
+		fmt.Printf("Running the Section V workflow for %s (%d threads, vectorised=%v)...\n\n",
+			a.Name, *threads, *vect)
+	}
+
+	res, err := barrierpoint.RunStudy(a.Name, a.Build, barrierpoint.StudyConfig{
+		Threads:    *threads,
+		Vectorised: *vect,
+		Runs:       *runs,
+		Reps:       *reps,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if *jsonOut {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	min, max := res.MinMaxSelected()
+	fmt.Printf("Barrier points: %d total; %d discovery runs selected between %d and %d\n",
+		res.TotalBPs, len(res.Evals), min, max)
+	if !res.Applicability.OK {
+		fmt.Printf("Applicability: LIMITED — %s\n", res.Applicability.Reason)
+	}
+	fmt.Println()
+
+	show := func(i int, e *barrierpoint.SetEvaluation) {
+		set := &e.Set
+		fmt.Printf("Set from run %d: %d barrier points, %.2f%% of instructions selected, "+
+			"largest point %.2f%%, speed-up %.2fx\n",
+			set.Run, len(set.Selected), set.InstructionsSelectedPct(),
+			set.LargestBPPct(), set.Speedup())
+		printVal := func(name string, v *barrierpoint.Validation, verr error) {
+			if v == nil {
+				fmt.Printf("  %-12s not applicable: %v\n", name, verr)
+				return
+			}
+			fmt.Printf("  %-12s err%%: cycles %.2f  instructions %.2f  L1D %.2f  L2D %.2f\n",
+				name,
+				v.AvgAbsErrPct[machine.Cycles], v.AvgAbsErrPct[machine.Instructions],
+				v.AvgAbsErrPct[machine.L1DMisses], v.AvgAbsErrPct[machine.L2DMisses])
+		}
+		printVal("x86_64:", e.X86, nil)
+		printVal("ARMv8:", e.ARM, e.ARMErr)
+	}
+
+	if *all {
+		for i := range res.Evals {
+			show(i, &res.Evals[i])
+			fmt.Println()
+		}
+		fmt.Printf("Best set: run %d\n", res.BestEval().Set.Run)
+	} else {
+		show(res.Best, res.BestEval())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bpoint:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command bptrace dumps per-barrier-point counter measurements as CSV for
+// external plotting: one row per (barrier point, thread) with measured
+// means and standard deviations of all four metrics, plus a column marking
+// the barrier points the methodology selects.
+//
+// Usage:
+//
+//	bptrace -app MCB -threads 1 > mcb.csv
+//	bptrace -app HPCG -threads 8 -variant ARMv8-vect -per-thread
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"barrierpoint"
+	"barrierpoint/internal/machine"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "MCB", "application name from Table I")
+		threads   = flag.Int("threads", 1, "thread count")
+		variant   = flag.String("variant", "x86_64", "binary variant: x86_64, ARMv8, x86_64-vect, ARMv8-vect")
+		reps      = flag.Int("reps", 20, "measurement repetitions")
+		seed      = flag.Uint64("seed", 2017, "experiment seed")
+		perThread = flag.Bool("per-thread", false, "one row per (barrier point, thread) instead of per barrier point")
+	)
+	flag.Parse()
+
+	a, err := barrierpoint.AppByName(*app)
+	if err != nil {
+		fail(err)
+	}
+	var v barrierpoint.Variant
+	switch *variant {
+	case "x86_64":
+		v = barrierpoint.Variant{ISA: barrierpoint.X8664()}
+	case "ARMv8":
+		v = barrierpoint.Variant{ISA: barrierpoint.ARMv8()}
+	case "x86_64-vect":
+		v = barrierpoint.Variant{ISA: barrierpoint.X8664(), Vectorised: true}
+	case "ARMv8-vect":
+		v = barrierpoint.Variant{ISA: barrierpoint.ARMv8(), Vectorised: true}
+	default:
+		fail(fmt.Errorf("unknown variant %q", *variant))
+	}
+
+	disc := barrierpoint.DefaultDiscovery(*threads, v.Vectorised, *seed)
+	disc.Runs = 1
+	sets, err := barrierpoint.Discover(a.Build, disc)
+	if err != nil {
+		fail(err)
+	}
+	selected := map[int]float64{}
+	for _, s := range sets[0].Selected {
+		selected[s.Index] = s.Multiplier
+	}
+
+	col, err := barrierpoint.Collect(a.Build, barrierpoint.CollectConfig{
+		Variant: v, Threads: *threads, Reps: *reps, Seed: *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	cols := []string{"bp"}
+	if *perThread {
+		cols = append(cols, "thread")
+	}
+	for _, m := range machine.Metrics() {
+		name := strings.ReplaceAll(strings.ToLower(m.String()), " ", "_")
+		cols = append(cols, name+"_mean", name+"_std")
+	}
+	cols = append(cols, "selected", "multiplier")
+	fmt.Println(strings.Join(cols, ","))
+
+	emit := func(bp int, thread int, mean, std barrierpoint.Counters) {
+		row := []string{fmt.Sprint(bp)}
+		if *perThread {
+			row = append(row, fmt.Sprint(thread))
+		}
+		for _, m := range machine.Metrics() {
+			row = append(row, fmt.Sprintf("%.2f", mean[m]), fmt.Sprintf("%.2f", std[m]))
+		}
+		mult, isSel := selected[bp]
+		if isSel {
+			row = append(row, "1", fmt.Sprintf("%.2f", mult))
+		} else {
+			row = append(row, "0", "0")
+		}
+		fmt.Println(strings.Join(row, ","))
+	}
+
+	for i := 0; i < col.NumBarrierPoints(); i++ {
+		if *perThread {
+			for t := 0; t < col.Threads; t++ {
+				emit(i, t, col.PerBP[i][t], col.PerBPStd[i][t])
+			}
+			continue
+		}
+		var mean, std barrierpoint.Counters
+		for t := 0; t < col.Threads; t++ {
+			mean = mean.Add(col.PerBP[i][t])
+			std = std.Add(col.PerBPStd[i][t])
+		}
+		emit(i, 0, mean, std)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bptrace:", err)
+	os.Exit(1)
+}

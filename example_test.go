@@ -1,0 +1,74 @@
+package barrierpoint_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"barrierpoint"
+)
+
+// ExampleRunStudy runs the paper's whole Section V workflow for one proxy
+// application and prints the headline numbers of the best barrier point
+// set.
+func ExampleRunStudy() {
+	app, err := barrierpoint.AppByName("MCB")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := barrierpoint.RunStudy(app.Name, app.Build, barrierpoint.StudyConfig{
+		Threads: 2, Runs: 1, Reps: 20, Seed: 2017,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := res.BestEval()
+	fmt.Printf("selected %d of %d barrier points (%.0f%% of instructions)\n",
+		len(best.Set.Selected), res.TotalBPs, best.Set.InstructionsSelectedPct())
+	// Output:
+	// selected 4 of 10 barrier points (40% of instructions)
+}
+
+// ExampleDiscover shows the step-by-step API: discovery on x86_64
+// followed by validation of the selection on the ARMv8 platform.
+func ExampleDiscover() {
+	app, err := barrierpoint.AppByName("miniFE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := barrierpoint.DefaultDiscovery(2, false, 2017)
+	cfg.Runs = 1
+	sets, err := barrierpoint.Discover(app.Build, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	col, err := barrierpoint.Collect(app.Build, barrierpoint.CollectConfig{
+		Variant: barrierpoint.Variant{ISA: barrierpoint.ARMv8()},
+		Threads: 2, Reps: 20, Seed: 2017,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	val, err := barrierpoint.Validate(&sets[0], col)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cross-architecture instruction error under 1%%: %v\n",
+		val.AvgAbsErrPct[barrierpoint.Instructions] < 1)
+	// Output:
+	// cross-architecture instruction error under 1%: true
+}
+
+// ExampleDescribe prints a workload's structural summary, which predicts
+// whether the methodology will help (Section V-B).
+func ExampleDescribe() {
+	app, err := barrierpoint.AppByName("PathFinder")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := app.Build(1, barrierpoint.Variant{ISA: barrierpoint.X8664()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	barrierpoint.Describe(os.Stdout, prog, barrierpoint.Variant{ISA: barrierpoint.X8664()})
+}

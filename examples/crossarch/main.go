@@ -1,0 +1,63 @@
+// Crossarch: reproduce one row of the paper's Table IV — run the full
+// cross-architectural study for an HPC proxy application at 8 threads and
+// report selection, estimation errors on both ISAs, and the
+// simulation-time accounting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"barrierpoint"
+)
+
+func main() {
+	appName := flag.String("app", "HPCG", "application from Table I")
+	flag.Parse()
+
+	app, err := barrierpoint.AppByName(*appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s — %s\n(input: %s)\n\n", app.Name, app.Description, app.Input)
+
+	res, err := barrierpoint.RunStudy(app.Name, app.Build, barrierpoint.StudyConfig{
+		Threads: 8,
+		Runs:    5,
+		Reps:    20,
+		Seed:    2017,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	min, max := res.MinMaxSelected()
+	fmt.Printf("barrier points: %d total; discovery runs selected %d-%d representatives\n",
+		res.TotalBPs, min, max)
+
+	best := res.BestEval()
+	set := &best.Set
+	fmt.Printf("best set: %d points covering %.2f%% of instructions (largest %.2f%%, speed-up %.1fx)\n\n",
+		len(set.Selected), set.InstructionsSelectedPct(), set.LargestBPPct(), set.Speedup())
+
+	fmt.Println("estimation error vs. measured full run (avg over threads):")
+	report := func(name string, v *barrierpoint.Validation, verr error) {
+		if v == nil {
+			fmt.Printf("  %-7s not applicable: %v\n", name, verr)
+			return
+		}
+		fmt.Printf("  %-7s cycles %5.2f%%  instructions %5.2f%%  L1D %6.2f%%  L2D %5.2f%%\n",
+			name,
+			v.AvgAbsErrPct[barrierpoint.Cycles],
+			v.AvgAbsErrPct[barrierpoint.Instructions],
+			v.AvgAbsErrPct[barrierpoint.L1DMisses],
+			v.AvgAbsErrPct[barrierpoint.L2DMisses])
+	}
+	report("x86_64", best.X86, nil)
+	report("ARMv8", best.ARM, best.ARMErr)
+
+	if !res.Applicability.OK {
+		fmt.Printf("\nlimitation: %s\n", res.Applicability.Reason)
+	}
+}

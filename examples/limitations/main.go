@@ -1,0 +1,66 @@
+// Limitations: Section V-B of the paper identifies workloads the
+// BarrierPoint methodology cannot help. This example demonstrates both
+// failure modes through the public API: embarrassingly parallel
+// applications with a single barrier point (RSBench), and
+// architecture-dependent convergence that desynchronises the barrier point
+// counts across ISAs (HPGMG-FV).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"barrierpoint"
+)
+
+func main() {
+	const threads = 8
+
+	// Failure mode 1: a single parallel region.
+	rsbench, err := barrierpoint.AppByName("RSBench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	disc := barrierpoint.DefaultDiscovery(threads, false, 1)
+	disc.Runs = 1
+	sets, err := barrierpoint.Discover(rsbench.Build, disc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set := &sets[0]
+	app := barrierpoint.CheckApplicability(set)
+	fmt.Printf("RSBench: %d barrier point(s); applicable: %v\n", set.TotalPoints, app.OK)
+	fmt.Printf("  %s\n", app.Reason)
+	fmt.Printf("  selected instructions: %.0f%% — no simulation-time gain\n\n",
+		set.InstructionsSelectedPct())
+
+	// Failure mode 2: architecture-dependent iteration counts.
+	hpgmg, err := barrierpoint.AppByName("HPGMG-FV")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sets, err = barrierpoint.Discover(hpgmg.Build, disc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set = &sets[0]
+	fmt.Printf("HPGMG-FV: %d barrier points discovered on x86_64\n", set.TotalPoints)
+
+	armCol, err := barrierpoint.Collect(hpgmg.Build, barrierpoint.CollectConfig{
+		Variant: barrierpoint.Variant{ISA: barrierpoint.ARMv8()},
+		Threads: threads, Reps: 3, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("          %d barrier points executed on ARMv8\n", armCol.NumBarrierPoints())
+
+	if _, err := barrierpoint.Reconstruct(set, armCol); errors.Is(err, barrierpoint.ErrRegionCountMismatch) {
+		fmt.Printf("cross-architecture reconstruction fails as expected:\n  %v\n", err)
+		fmt.Println("\nfloating-point convergence differs between the ISAs, so the parallel")
+		fmt.Println("sections do not match — the paper excludes HPGMG-FV for this reason")
+	} else {
+		log.Fatalf("expected a region count mismatch, got %v", err)
+	}
+}

@@ -1,0 +1,99 @@
+// Quickstart: define a small custom OpenMP-style workload, discover its
+// representative barrier points on x86_64, measure them natively, and
+// check how well they predict the full run — the whole Section V workflow
+// in one file.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"barrierpoint"
+)
+
+// buildWorkload assembles a toy iterative solver: 20 iterations, each with
+// a compute-heavy streaming region and an irregular lookup region.
+func buildWorkload(threads int, v barrierpoint.Variant) (*barrierpoint.Program, error) {
+	p := barrierpoint.NewProgram("toy-solver")
+	field := p.AddData("field", 32*1024) // 2 MiB
+
+	var computeMix barrierpoint.OpMix
+	computeMix[0] = 3 // integer bookkeeping per iteration
+	computeMix[1] = 2 // FP adds
+	computeMix[2] = 2 // FP muls
+	computeMix[4] = 2 // loads
+	computeMix[5] = 1 // stores
+	computeMix[6] = 1 // branch
+	compute := p.AddBlock(barrierpoint.Block{
+		Name:         "stencil",
+		Mix:          computeMix,
+		Vectorisable: true,
+		LinesPerIter: 0.01,
+		Pattern:      barrierpoint.Multi,
+		Data:         field,
+	})
+
+	var lookupMix barrierpoint.OpMix
+	lookupMix[0] = 4
+	lookupMix[4] = 3
+	lookupMix[6] = 2
+	lookup := p.AddBlock(barrierpoint.Block{
+		Name:         "lookup",
+		Mix:          lookupMix,
+		LinesPerIter: 0.02,
+		Pattern:      barrierpoint.Random,
+		Data:         field,
+	})
+
+	for i := 0; i < 20; i++ {
+		p.AddRegion("stencil", barrierpoint.BlockExec{Block: compute, Trips: 500000})
+		p.AddRegion("lookup", barrierpoint.BlockExec{Block: lookup, Trips: 300000})
+	}
+	p.Finalise()
+	return p, p.Validate()
+}
+
+func main() {
+	const threads = 4
+
+	// Step 2: discover representative barrier points on x86_64.
+	disc := barrierpoint.DefaultDiscovery(threads, false, 42)
+	disc.Runs = 3
+	sets, err := barrierpoint.Discover(buildWorkload, disc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	set := &sets[0]
+	fmt.Printf("workload has %d barrier points; selected %d representatives:\n",
+		set.TotalPoints, len(set.Selected))
+	for _, s := range set.Selected {
+		fmt.Printf("  barrier point %2d  multiplier %5.1f\n", s.Index, s.Multiplier)
+	}
+	fmt.Printf("running the representatives executes %.1f%% of all instructions (%.0fx less simulation)\n\n",
+		set.InstructionsSelectedPct(), set.Speedup())
+
+	// Step 3+4+5: measure natively on both platforms, reconstruct, and
+	// validate.
+	for _, variant := range []barrierpoint.Variant{
+		{ISA: barrierpoint.X8664()},
+		{ISA: barrierpoint.ARMv8()},
+	} {
+		col, err := barrierpoint.Collect(buildWorkload, barrierpoint.CollectConfig{
+			Variant: variant, Threads: threads, Reps: 20, Seed: 42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		val, err := barrierpoint.Validate(set, col)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7s estimation error: cycles %.2f%%  instructions %.2f%%  L1D %.2f%%  L2D %.2f%%\n",
+			variant.ISA.Name,
+			val.AvgAbsErrPct[barrierpoint.Cycles],
+			val.AvgAbsErrPct[barrierpoint.Instructions],
+			val.AvgAbsErrPct[barrierpoint.L1DMisses],
+			val.AvgAbsErrPct[barrierpoint.L2DMisses])
+	}
+	fmt.Println("\nthe x86_64-selected barrier points predict the ARM run too — the paper's main result")
+}

@@ -1,0 +1,292 @@
+package apps
+
+import (
+	"testing"
+
+	"barrierpoint/internal/isa"
+	"barrierpoint/internal/trace"
+)
+
+func scalarX86() isa.Variant { return isa.Variant{ISA: isa.X8664()} }
+
+// regionInstr returns each region's total machine instruction count under
+// the variant.
+func regionInstr(p *trace.Program, v isa.Variant) []float64 {
+	out := make([]float64, len(p.Regions))
+	for i, r := range p.Regions {
+		for _, w := range r.Work {
+			out[i] += trace.Compile(w.Block, w.Trips, v).Instructions()
+		}
+	}
+	return out
+}
+
+func sum(xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 11 {
+		t.Fatalf("registry has %d apps, want the 11 of Table I", len(all))
+	}
+	want := []string{"AMGMk", "CoMD", "graph500", "HPCG", "HPGMG-FV",
+		"LULESH", "MCB", "miniFE", "PathFinder", "RSBench", "XSBench"}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("app %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Description == "" || a.Build == nil {
+			t.Errorf("%s: incomplete registration", a.Name)
+		}
+	}
+}
+
+func TestEvaluatedSubset(t *testing.T) {
+	ev := Evaluated()
+	if len(ev) != 7 {
+		t.Fatalf("evaluated apps = %d, want 7", len(ev))
+	}
+	for _, a := range ev {
+		if a.SingleRegion || a.ArchDependentRegions {
+			t.Errorf("%s should not be in the evaluated set", a.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("LULESH"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nonsense"); err == nil {
+		t.Error("unknown app should error")
+	}
+}
+
+func TestAllProgramsBuildAndValidate(t *testing.T) {
+	for _, a := range All() {
+		for _, threads := range []int{1, 2, 4, 8} {
+			for _, v := range isa.Variants() {
+				p, err := a.Build(threads, v)
+				if err != nil {
+					t.Fatalf("%s %d threads %s: %v", a.Name, threads, v, err)
+				}
+				if err := p.Validate(); err != nil {
+					t.Fatalf("%s %d threads %s: %v", a.Name, threads, v, err)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildersRejectBadThreadCounts(t *testing.T) {
+	for _, a := range All() {
+		if _, err := a.Build(0, scalarX86()); err == nil {
+			t.Errorf("%s: zero threads should fail", a.Name)
+		}
+		if _, err := a.Build(9, scalarX86()); err == nil {
+			t.Errorf("%s: nine threads should fail", a.Name)
+		}
+	}
+}
+
+func TestTableIIIRegionCounts(t *testing.T) {
+	want := map[string]int{
+		"AMGMk":    1000,
+		"CoMD":     810,
+		"graph500": 197,
+		"HPCG":     803,
+		"MCB":      10,
+		"miniFE":   1208,
+	}
+	for name, n := range want {
+		a, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := a.Build(8, scalarX86())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.TotalRegions(); got != n {
+			t.Errorf("%s: %d regions, want %d (Table III)", name, got, n)
+		}
+	}
+}
+
+func TestLULESHRegionCountsByThreads(t *testing.T) {
+	a, _ := ByName("LULESH")
+	p1, err := a.Build(1, scalarX86())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.TotalRegions() != 9800 {
+		t.Errorf("LULESH 1 thread: %d regions, want 9800", p1.TotalRegions())
+	}
+	p8, err := a.Build(8, scalarX86())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p8.TotalRegions() != 9840 {
+		t.Errorf("LULESH 8 threads: %d regions, want 9840", p8.TotalRegions())
+	}
+}
+
+func TestSingleRegionApps(t *testing.T) {
+	for _, name := range []string{"RSBench", "XSBench", "PathFinder"} {
+		a, _ := ByName(name)
+		if !a.SingleRegion {
+			t.Errorf("%s should be flagged SingleRegion", name)
+		}
+		p, err := a.Build(4, scalarX86())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.TotalRegions() != 1 {
+			t.Errorf("%s: %d regions, want 1", name, p.TotalRegions())
+		}
+	}
+}
+
+func TestHPGMGFVArchDependentRegionCount(t *testing.T) {
+	a, _ := ByName("HPGMG-FV")
+	if !a.ArchDependentRegions {
+		t.Fatal("HPGMG-FV should be flagged ArchDependentRegions")
+	}
+	px, err := a.Build(4, scalarX86())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := a.Build(4, isa.Variant{ISA: isa.ARMv8()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if px.TotalRegions() == pa.TotalRegions() {
+		t.Errorf("HPGMG-FV region counts should differ across architectures, both %d",
+			px.TotalRegions())
+	}
+}
+
+func TestGraph500GenerationDominates(t *testing.T) {
+	a, _ := ByName("graph500")
+	p, err := a.Build(8, scalarX86())
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr := regionInstr(p, scalarX86())
+	genShare := instr[0] / sum(instr)
+	if genShare < 0.20 || genShare > 0.45 {
+		t.Errorf("generation region is %.1f%% of instructions, want ~30%%", genShare*100)
+	}
+}
+
+func TestMiniFESpMVDominatesIteration(t *testing.T) {
+	a, _ := ByName("miniFE")
+	p, err := a.Build(8, scalarX86())
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr := regionInstr(p, scalarX86())
+	// Regions 8..13 are the first CG iteration; the SpMV is region 8.
+	iter := instr[8:14]
+	if share := iter[0] / sum(iter); share < 0.75 || share > 0.95 {
+		t.Errorf("miniFE SpMV is %.1f%% of a CG iteration, want ~85%%", share*100)
+	}
+}
+
+func TestLULESHRegionsAreTiny(t *testing.T) {
+	a, _ := ByName("LULESH")
+	p, err := a.Build(8, scalarX86())
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr := regionInstr(p, scalarX86())
+	var big int
+	for _, n := range instr {
+		if n > 300000 {
+			big++
+		}
+	}
+	if frac := float64(big) / float64(len(instr)); frac > 0.1 {
+		t.Errorf("%.0f%% of LULESH regions exceed 300k instructions; they must stay far smaller than the accurate apps' regions", frac*100)
+	}
+}
+
+func TestGoodAppsHaveSubstantialRegions(t *testing.T) {
+	// The six accurate apps need regions big enough that counter-read
+	// overhead stays negligible.
+	for _, name := range []string{"AMGMk", "CoMD", "graph500", "HPCG", "MCB", "miniFE"} {
+		a, _ := ByName(name)
+		p, err := a.Build(8, scalarX86())
+		if err != nil {
+			t.Fatal(err)
+		}
+		instr := regionInstr(p, scalarX86())
+		var small int
+		for _, n := range instr {
+			if n < 300000 {
+				small++
+			}
+		}
+		if frac := float64(small) / float64(len(instr)); frac > 0.05 {
+			t.Errorf("%s: %.0f%% of regions under 300k instructions — overhead would dominate", name, frac*100)
+		}
+	}
+}
+
+func TestVectorisedVariantsShrinkInstructionCounts(t *testing.T) {
+	for _, name := range []string{"AMGMk", "HPCG", "miniFE", "CoMD", "LULESH"} {
+		a, _ := ByName(name)
+		p, err := a.Build(4, scalarX86())
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar := sum(regionInstr(p, scalarX86()))
+		vect := sum(regionInstr(p, isa.Variant{ISA: isa.X8664(), Vectorised: true}))
+		if vect >= scalar {
+			t.Errorf("%s: vectorised count %.0f should be below scalar %.0f", name, vect, scalar)
+		}
+	}
+}
+
+func TestCrossISAInstructionCountsClose(t *testing.T) {
+	// Blem et al.: instruction counts should be similar (not identical)
+	// across the ISAs for the scalar builds.
+	for _, a := range All() {
+		p, err := a.Build(4, scalarX86())
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := sum(regionInstr(p, scalarX86()))
+		arm := sum(regionInstr(p, isa.Variant{ISA: isa.ARMv8()}))
+		if ratio := arm / x; ratio < 0.9 || ratio > 1.12 {
+			t.Errorf("%s: ARM/x86 instruction ratio %.3f out of range", a.Name, ratio)
+		}
+	}
+}
+
+func TestDeterministicBuilds(t *testing.T) {
+	a, _ := ByName("HPCG")
+	p1, err := a.Build(4, scalarX86())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.Build(4, scalarX86())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.TotalRegions() != p2.TotalRegions() || len(p1.Blocks) != len(p2.Blocks) {
+		t.Error("builds must be deterministic")
+	}
+	i1 := regionInstr(p1, scalarX86())
+	i2 := regionInstr(p2, scalarX86())
+	for i := range i1 {
+		if i1[i] != i2[i] {
+			t.Fatal("region instruction counts differ between identical builds")
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package apps
+
+import (
+	"barrierpoint/internal/isa"
+	"barrierpoint/internal/trace"
+)
+
+// Graph500: Kronecker graph generation followed by repeated breadth-first
+// searches — 197 barrier points. The generate_kronecker_range region runs
+// once but executes ~30% of all instructions, so it is always selected and
+// caps the achievable simulation speed-up at ~2.6x (Table IV).
+var Graph500 = register(&App{
+	Name:             "graph500",
+	Description:      "Graph500 benchmark: generation of, and Breadth first search through, an undirected graph",
+	Input:            "-s 16",
+	EvaluatedInPaper: true,
+	Build: func(threads int, v isa.Variant) (*trace.Program, error) {
+		if err := checkThreads(threads); err != nil {
+			return nil, err
+		}
+		p := trace.NewProgram("graph500")
+		edges := p.AddData("edge-list", 100*1024)  // 6.25 MiB
+		graph := p.AddData("csr-graph", 80*1024)   // 5 MiB
+		frontier := p.AddData("frontier", 12*1024) // visited bitmap + queues
+
+		generate := p.AddBlock(trace.Block{
+			Name: "generate_kronecker_range", Mix: mk(6, 1, 2, 0, 2, 2, 1),
+			LinesPerIter: 0.002, Pattern: trace.Random, Data: edges,
+		})
+		expand := p.AddBlock(trace.Block{
+			Name: "bfs_expand_frontier", Mix: mk(5, 0, 0, 0, 4, 1, 2),
+			LinesPerIter: 0.006, Pattern: trace.Gather, Data: graph,
+		})
+		scan := p.AddBlock(trace.Block{
+			Name: "bfs_scan_frontier", Mix: mk(4, 0, 0, 0, 3, 1, 2),
+			LinesPerIter: 0.008, Pattern: trace.Sequential, Data: frontier,
+		})
+
+		// One generation region: ~30% of total instructions.
+		p.AddRegion("generation", trace.BlockExec{Block: generate, Trips: 20000000})
+
+		// 28 BFS roots x 7 levels = 196 regions. Frontier sizes follow the
+		// classic small-exploding-shrinking profile of a low-diameter
+		// Kronecker graph.
+		levelScale := []int64{24000, 64000, 280000, 480000, 280000, 64000, 24000}
+		swExpand, swScan := sweeper(expand), sweeper(scan)
+		for root := 0; root < 28; root++ {
+			for _, trips := range levelScale {
+				// The scan/expand ratio depends on the frontier's shape,
+				// which differs from root to root.
+				p.AddRegion("bfs-level", swExpand(trips), swScan(trips/2+int64(root%3)*(trips/10)))
+			}
+		}
+		p.Finalise()
+		return p, p.Validate()
+	},
+})
+
+// PathFinder: the Mantevo signature-search miniapp. Its search is one huge
+// embarrassingly parallel region over an adjacency structure — a single
+// barrier point (Section V-B).
+var PathFinder = register(&App{
+	Name:         "PathFinder",
+	Description:  "Signature-search mini-application",
+	Input:        "-x medium10.adj_list",
+	SingleRegion: true,
+	Build: func(threads int, v isa.Variant) (*trace.Program, error) {
+		if err := checkThreads(threads); err != nil {
+			return nil, err
+		}
+		p := trace.NewProgram("PathFinder")
+		adj := p.AddData("adjacency-list", 32*1024) // 2 MiB
+		search := p.AddBlock(trace.Block{
+			Name: "findAndRecordAllPaths", Mix: mk(7, 0, 0, 0, 4, 1, 3),
+			LinesPerIter: 0.04, Pattern: trace.PointerChase, Data: adj,
+		})
+		p.AddRegion("signature-search", trace.BlockExec{Block: search, Trips: 2200000})
+		p.Finalise()
+		return p, p.Validate()
+	},
+})

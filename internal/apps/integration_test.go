@@ -1,0 +1,194 @@
+package apps
+
+import (
+	"testing"
+
+	"barrierpoint/internal/core"
+	"barrierpoint/internal/isa"
+	"barrierpoint/internal/machine"
+	"barrierpoint/internal/omp"
+)
+
+// runTrue executes an app natively (no noise) and returns the per-region
+// total counters.
+func runTrue(t *testing.T, name string, threads int, arch *isa.ISA) []machine.Counters {
+	t.Helper()
+	a, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := isa.Variant{ISA: arch}
+	p, err := a.Build(threads, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := omp.Run(p, omp.Config{
+		Machine: machine.ForISA(arch), Variant: v, Threads: threads, WarmCaches: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]machine.Counters, len(res.Regions))
+	for i := range res.Regions {
+		out[i] = res.Regions[i].Total()
+	}
+	return out
+}
+
+func totals(cs []machine.Counters) machine.Counters {
+	var t machine.Counters
+	for _, c := range cs {
+		t = t.Add(c)
+	}
+	return t
+}
+
+func TestMCBMPKIRisesAcrossExecution(t *testing.T) {
+	// Figure 1's premise: MCB's L2D MPKI rises region over region.
+	regions := runTrue(t, "MCB", 1, isa.X8664())
+	first := regions[0][machine.L2DMisses] / regions[0][machine.Instructions]
+	last := regions[9][machine.L2DMisses] / regions[9][machine.Instructions]
+	if last < 5*first {
+		t.Errorf("MCB L2D MPKI should rise strongly: %.2e -> %.2e", first, last)
+	}
+}
+
+func TestCoMDARML1DPathology(t *testing.T) {
+	// Section V-C's premise: CoMD generates far fewer L1D misses on the
+	// X-Gene (stream prefetcher) than on the Intel machine, pushing its
+	// counts into the measurement noise floor.
+	intel := totals(runTrue(t, "CoMD", 8, isa.X8664()))
+	arm := totals(runTrue(t, "CoMD", 8, isa.ARMv8()))
+	ratio := intel[machine.L1DMisses] / arm[machine.L1DMisses]
+	if ratio < 2 {
+		t.Errorf("CoMD Intel/ARM L1D ratio %.1f; the ARM counts must be clearly lower", ratio)
+	}
+	// The per-region ARM counts must sit near the noise floor.
+	regions := runTrue(t, "CoMD", 8, isa.ARMv8())
+	floor := machine.APMXGene().Noise.Floor[machine.L1DMisses]
+	var small int
+	for _, r := range regions {
+		if r[machine.L1DMisses]/8 < 4*floor {
+			small++
+		}
+	}
+	if frac := float64(small) / float64(len(regions)); frac < 0.5 {
+		t.Errorf("only %.0f%% of CoMD's ARM regions are noise-floor dominated", frac*100)
+	}
+}
+
+func TestOtherAppsKeepHealthyARML1DCounts(t *testing.T) {
+	// The pathology must be CoMD-specific: HPCG and miniFE need healthy
+	// per-region L1D counts on ARM for their estimates to stay accurate.
+	floor := machine.APMXGene().Noise.Floor[machine.L1DMisses]
+	for _, name := range []string{"HPCG", "miniFE"} {
+		tot := totals(runTrue(t, name, 8, isa.ARMv8()))
+		regions := runTrue(t, name, 8, isa.ARMv8())
+		perRegionThread := tot[machine.L1DMisses] / float64(len(regions)) / 8
+		if perRegionThread < 3*floor {
+			t.Errorf("%s: mean ARM L1D per region-thread %.0f too close to floor %.0f",
+				name, perRegionThread, floor)
+		}
+	}
+}
+
+func TestGraph500GenerationAlwaysSelected(t *testing.T) {
+	a, _ := ByName("graph500")
+	sets, err := core.Discover(a.Build, core.DiscoveryConfig{Threads: 4, Runs: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sets {
+		found := false
+		for _, sel := range s.Selected {
+			if sel.Index == 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("run %d: the generation region must always be selected (it is ~30%% of the work)", s.Run)
+		}
+	}
+}
+
+func TestLULESHOverheadFractionLarge(t *testing.T) {
+	// LULESH's regions are so short that two counter reads per region are
+	// a visible fraction of the instructions (the paper's Section V-C).
+	regions := runTrue(t, "LULESH", 8, isa.X8664())
+	var worst float64
+	const readInstr = 2 * 420 * 8 // reads x cost x threads
+	for _, r := range regions {
+		if f := readInstr / r[machine.Instructions]; f > worst {
+			worst = f
+		}
+	}
+	if worst < 0.02 {
+		t.Errorf("LULESH worst-case instrumentation share %.2f%% should exceed 2%%", worst*100)
+	}
+	// Whereas HPCG's regions barely notice it.
+	regions = runTrue(t, "HPCG", 8, isa.X8664())
+	worst = 0
+	for _, r := range regions {
+		if f := readInstr / r[machine.Instructions]; f > worst {
+			worst = f
+		}
+	}
+	if worst > 0.02 {
+		t.Errorf("HPCG worst-case instrumentation share %.2f%% should stay under 2%%", worst*100)
+	}
+}
+
+func TestVectorisedRunsFasterOnBothMachines(t *testing.T) {
+	for _, arch := range []*isa.ISA{isa.X8664(), isa.ARMv8()} {
+		a, _ := ByName("AMGMk")
+		run := func(vect bool) float64 {
+			v := isa.Variant{ISA: arch, Vectorised: vect}
+			p, err := a.Build(4, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := omp.Run(p, omp.Config{
+				Machine: machine.ForISA(arch), Variant: v, Threads: 4, WarmCaches: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Total()[machine.Cycles]
+		}
+		if scalar, vect := run(false), run(true); vect >= scalar {
+			t.Errorf("%s: vectorised AMGMk (%.0f cycles) should beat scalar (%.0f)",
+				arch.Name, vect, scalar)
+		}
+	}
+}
+
+func TestIntelFasterThanXGene(t *testing.T) {
+	// The 3.4 GHz 4-wide Ivy Bridge should need fewer cycles than the
+	// X-Gene for the same scalar work (and far less wall time).
+	intel := totals(runTrue(t, "HPCG", 4, isa.X8664()))
+	arm := totals(runTrue(t, "HPCG", 4, isa.ARMv8()))
+	if intel[machine.Cycles] >= arm[machine.Cycles] {
+		t.Errorf("Intel cycles %.0f should be below X-Gene cycles %.0f",
+			intel[machine.Cycles], arm[machine.Cycles])
+	}
+}
+
+func TestThreadScalingReducesRegionCycles(t *testing.T) {
+	for _, name := range []string{"HPCG", "CoMD"} {
+		one := totals(runTrue(t, name, 1, isa.X8664()))
+		eight := totals(runTrue(t, name, 8, isa.X8664()))
+		// Cycles here are per-thread region cycles summed: at 8 threads
+		// each thread's counter equals the region's wall cycles, so the
+		// comparable quantity is the sum over regions of wall cycles,
+		// i.e. total/threads.
+		wall1 := one[machine.Cycles] / 1
+		wall8 := eight[machine.Cycles] / 8
+		speedup := wall1 / wall8
+		if speedup < 3 {
+			t.Errorf("%s: 8-thread speed-up %.1fx too low", name, speedup)
+		}
+		if speedup > 8.5 {
+			t.Errorf("%s: 8-thread speed-up %.1fx super-linear?", name, speedup)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+
+	"barrierpoint/internal/isa"
+	"barrierpoint/internal/machine"
+	"barrierpoint/internal/trace"
+)
+
+func TestCoarsenRegionCount(t *testing.T) {
+	build := phasedBuilder(3, 10) // 30 regions
+	for factor, want := range map[int]int{1: 30, 2: 15, 3: 10, 7: 5, 30: 1, 50: 1} {
+		coarse := CoarsenBuilder(build, factor)
+		p, err := coarse(2, isa.Variant{ISA: isa.X8664()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.TotalRegions(); got != want {
+			t.Errorf("factor %d: %d regions, want %d", factor, got, want)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("factor %d: %v", factor, err)
+		}
+	}
+}
+
+func TestCoarsenFactorOneIsIdentity(t *testing.T) {
+	build := phasedBuilder(2, 4)
+	p1, err := build(2, isa.Variant{ISA: isa.X8664()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := CoarsenBuilder(build, 1)(2, isa.Variant{ISA: isa.X8664()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.TotalRegions() != p2.TotalRegions() {
+		t.Error("factor 1 should not change the program")
+	}
+}
+
+func TestCoarsenConservesWork(t *testing.T) {
+	// Total instructions and misses must be unchanged by fusion (modulo
+	// the removed fork-join overhead of the dropped regions).
+	build := phasedBuilder(3, 10)
+	v := isa.Variant{ISA: isa.X8664()}
+
+	instrOf := func(b ProgramBuilder) float64 {
+		col, err := Collect(b, CollectConfig{Variant: v, Threads: 2, Reps: 1, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, c := range col.TrueFull {
+			total += c[machine.Instructions]
+		}
+		return total
+	}
+	full := instrOf(build)
+	fused := instrOf(CoarsenBuilder(build, 5))
+	// Fusing 30 regions into 6 drops 24 regions' fork-join overhead, so
+	// the fused run executes slightly FEWER instructions.
+	if fused >= full {
+		t.Errorf("fused run should be slightly cheaper: %f vs %f", fused, full)
+	}
+	if (full-fused)/full > 0.02 {
+		t.Errorf("fusion changed work by %.2f%% — only fork-join overhead should disappear",
+			(full-fused)/full*100)
+	}
+}
+
+func TestCoarsenPreservesBlockStructure(t *testing.T) {
+	build := phasedBuilder(3, 10)
+	p, err := CoarsenBuilder(build, 3)(2, isa.Variant{ISA: isa.X8664()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := build(2, isa.Variant{ISA: isa.X8664()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Blocks) != len(orig.Blocks) {
+		t.Errorf("blocks: %d vs %d", len(p.Blocks), len(orig.Blocks))
+	}
+	if len(p.Data) != len(orig.Data) {
+		t.Errorf("data regions: %d vs %d", len(p.Data), len(orig.Data))
+	}
+	// Each fused region contains the concatenated work of 3 originals.
+	if got := len(p.Regions[0].Work); got != 3 {
+		t.Errorf("fused region has %d work items, want 3", got)
+	}
+}
+
+func TestCoarsenImprovesShortRegionAccuracy(t *testing.T) {
+	// The point of the future-work feature: a workload with tiny regions
+	// estimates better after fusion.
+	tiny := func(threads int, v isa.Variant) (*trace.Program, error) {
+		p := trace.NewProgram("tiny-regions")
+		d := p.AddData("d", 4096)
+		var mix isa.OpMix
+		mix[isa.IntOp] = 3
+		mix[isa.FPAdd] = 2
+		mix[isa.Load] = 2
+		mix[isa.Branch] = 1
+		b := p.AddBlock(trace.Block{Name: "k", Mix: mix, LinesPerIter: 0.02,
+			Pattern: trace.Multi, Data: d})
+		for i := 0; i < 400; i++ {
+			p.AddRegion("r", trace.BlockExec{Block: b, Trips: 3000})
+		}
+		p.Finalise()
+		return p, p.Validate()
+	}
+	errOf := func(b ProgramBuilder) float64 {
+		sets, err := Discover(b, DiscoveryConfig{Threads: 2, Runs: 1, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, err := Collect(b, CollectConfig{Variant: isa.Variant{ISA: isa.X8664()}, Threads: 2, Reps: 20, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := Validate(&sets[0], col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.AvgAbsErrPct[machine.Cycles]
+	}
+	fine := errOf(tiny)
+	fused := errOf(CoarsenBuilder(tiny, 20))
+	if fused >= fine {
+		t.Errorf("coarsening should cut the cycle error: %.2f%% -> %.2f%%", fine, fused)
+	}
+}
+
+func TestCoarsenRejectsUnfinalised(t *testing.T) {
+	bad := func(threads int, v isa.Variant) (*trace.Program, error) {
+		p := trace.NewProgram("unfinalised")
+		d := p.AddData("d", 16)
+		b := p.AddBlock(trace.Block{Name: "b", Data: d, LinesPerIter: 1})
+		p.AddRegion("r", trace.BlockExec{Block: b, Trips: 1})
+		return p, nil // deliberately not finalised
+	}
+	if _, err := CoarsenBuilder(bad, 2)(1, isa.Variant{ISA: isa.X8664()}); err == nil {
+		t.Error("coarsening an unfinalised program should fail")
+	}
+}
+
+func TestCoarsenPropagatesBuildErrors(t *testing.T) {
+	failing := func(threads int, v isa.Variant) (*trace.Program, error) {
+		return nil, errTest
+	}
+	if _, err := CoarsenBuilder(failing, 4)(1, isa.Variant{ISA: isa.X8664()}); err == nil {
+		t.Error("builder errors must propagate through coarsening")
+	}
+}
+
+var errTest = fmtError("test error")
+
+type fmtError string
+
+func (e fmtError) Error() string { return string(e) }
+
+func TestCoarsenRefineComposition(t *testing.T) {
+	// Refining a coarsened program (or vice versa) must keep the work
+	// intact: builders compose.
+	build := phasedBuilder(2, 12) // 24 regions
+	composed := RefineBuilder(CoarsenBuilder(build, 6), 2)
+	p, err := composed(2, isa.Variant{ISA: isa.X8664()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 24 regions -> 4 coarse regions -> 8 refined regions.
+	if p.TotalRegions() != 8 {
+		t.Errorf("composed region count = %d, want 8", p.TotalRegions())
+	}
+	var composedTrips, origTrips int64
+	for _, r := range p.Regions {
+		for _, w := range r.Work {
+			composedTrips += w.Trips
+		}
+	}
+	orig, err := build(2, isa.Variant{ISA: isa.X8664()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range orig.Regions {
+		for _, w := range r.Work {
+			origTrips += w.Trips
+		}
+	}
+	if composedTrips != origTrips {
+		t.Errorf("composition lost trips: %d vs %d", composedTrips, origTrips)
+	}
+	// The composed program must still run end to end.
+	col, err := Collect(composed, CollectConfig{
+		Variant: isa.Variant{ISA: isa.ARMv8()}, Threads: 2, Reps: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.NumBarrierPoints() != 8 {
+		t.Errorf("collected %d barrier points, want 8", col.NumBarrierPoints())
+	}
+}

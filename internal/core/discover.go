@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"barrierpoint/internal/isa"
+	"barrierpoint/internal/machine"
+	"barrierpoint/internal/omp"
+	"barrierpoint/internal/pin"
+	"barrierpoint/internal/sigvec"
+	"barrierpoint/internal/simpoint"
+	"barrierpoint/internal/xrand"
+)
+
+// DiscoveryConfig parameterises Step 2 (barrier point discovery and
+// clustering). Discovery always runs on the x86_64 platform, as in the
+// paper.
+type DiscoveryConfig struct {
+	Threads    int
+	Vectorised bool
+	// Runs is the number of repeated discovery runs (the paper uses 10 to
+	// capture thread-interleaving variability).
+	Runs int
+	// Seed drives all jitter and clustering randomness.
+	Seed uint64
+	// MaxK caps the clusters searched (default 20).
+	MaxK int
+	// SigDim is the projected dimension per signature component
+	// (default sigvec.DefaultDim).
+	SigDim int
+	// UseBBV/UseLDV select the signature components; both default to on.
+	// (Setting exactly one false is the signature ablation.)
+	DisableBBV bool
+	DisableLDV bool
+}
+
+// DefaultDiscovery returns the paper's discovery configuration.
+func DefaultDiscovery(threads int, vectorised bool, seed uint64) DiscoveryConfig {
+	return DiscoveryConfig{Threads: threads, Vectorised: vectorised, Runs: 10, Seed: seed}
+}
+
+// Discover performs cfg.Runs instrumented discovery runs on the x86_64
+// platform, clustering each run's signature vectors into a barrier point
+// set.
+//
+// Reuse distances are collected on the canonical (unjittered) first run
+// and reused for the jittered re-runs: schedule jitter perturbs how trips
+// split across threads (and therefore the BBVs) but not the per-region
+// data footprint, and LDV collection is by far the most expensive part of
+// instrumentation.
+func Discover(build ProgramBuilder, cfg DiscoveryConfig) ([]BarrierPointSet, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 10
+	}
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("core: discovery needs a positive thread count, got %d", cfg.Threads)
+	}
+	variant := isa.Variant{ISA: isa.X8664(), Vectorised: cfg.Vectorised}
+	mach := machine.ForISA(variant.ISA)
+	if cfg.Threads > mach.MaxThreads() {
+		return nil, fmt.Errorf("core: %d threads exceed the %s's %d hardware threads",
+			cfg.Threads, mach.Name, mach.MaxThreads())
+	}
+
+	opts := sigvec.Options{
+		Dim:    cfg.SigDim,
+		UseBBV: !cfg.DisableBBV,
+		UseLDV: !cfg.DisableLDV,
+		Seed:   cfg.Seed,
+	}
+	if opts.Dim <= 0 {
+		opts.Dim = sigvec.DefaultDim
+	}
+	maxK := cfg.MaxK
+	if maxK <= 0 {
+		maxK = 20
+	}
+
+	// ldvCache[i] is barrier point i's binned LDV from the canonical run.
+	var ldvCache [][]float64
+
+	sets := make([]BarrierPointSet, 0, cfg.Runs)
+	for run := 0; run < cfg.Runs; run++ {
+		prog, err := build(cfg.Threads, variant)
+		if err != nil {
+			return nil, fmt.Errorf("core: building %d-thread x86_64 program: %w", cfg.Threads, err)
+		}
+		runCfg := omp.Config{Machine: mach, Variant: variant, Threads: cfg.Threads, WarmCaches: true}
+		pinOpts := pin.Options{}
+		if run > 0 {
+			runCfg.Jitter = xrand.Derive(cfg.Seed, fmt.Sprintf("discovery-jitter-%d", run))
+			// Interleaving jitter perturbs how loop iterations split
+			// across threads by a fraction of a percent — enough to move
+			// signatures and occasionally change the clustering, as the
+			// paper observes across its ten runs, without fabricating
+			// sub-phases that do not exist.
+			runCfg.JitterFrac = 0.005
+			runCfg.SkipMemory = true // BBV-only runs need no memory simulation
+			pinOpts.SkipLDV = true
+		}
+
+		var points []simpoint.Point
+		var weights []float64
+		err = pin.Stream(prog, runCfg, pinOpts, func(s pin.Signature) {
+			ldv := s.LDV
+			if run == 0 {
+				ldvCache = append(ldvCache, append([]float64(nil), ldv...))
+			} else if opts.UseLDV {
+				if s.Index < len(ldvCache) {
+					ldv = ldvCache[s.Index]
+				} else {
+					ldv = make([]float64, pin.NumDistBins*cfg.Threads)
+				}
+			}
+			points = append(points, simpoint.Point{
+				Vec:    sigvec.Build(s.BBV, ldv, opts),
+				Weight: s.Instructions,
+			})
+			weights = append(weights, s.Instructions)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: discovery run %d: %w", run, err)
+		}
+
+		spCfg := simpoint.DefaultConfig(xrand.Derive(cfg.Seed, fmt.Sprintf("kmeans-%d", run)).Uint64())
+		spCfg.MaxK = maxK
+		// Searching up to n clusters over a handful of barrier points
+		// degenerates into selecting nearly everything; cap the search at
+		// half the points for very short executions like MCB's ten
+		// regions.
+		if half := (len(points) + 1) / 2; spCfg.MaxK > half {
+			spCfg.MaxK = half
+		}
+		res, err := simpoint.Cluster(points, spCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: clustering run %d: %w", run, err)
+		}
+
+		set := BarrierPointSet{
+			Run:         run,
+			Threads:     cfg.Threads,
+			Vectorised:  cfg.Vectorised,
+			TotalPoints: len(points),
+		}
+		for _, w := range weights {
+			set.TotalInstructions += w
+		}
+		for c, rep := range res.Representatives {
+			if rep < 0 {
+				continue
+			}
+			set.Selected = append(set.Selected, SelectedPoint{
+				Index:        rep,
+				Multiplier:   res.Multipliers[c],
+				Instructions: weights[rep],
+			})
+		}
+		sortSelected(set.Selected)
+		sets = append(sets, set)
+	}
+	return sets, nil
+}
+
+// sortSelected orders representatives by execution index (insertion sort;
+// sets have at most ~20 entries).
+func sortSelected(sel []SelectedPoint) {
+	for i := 1; i < len(sel); i++ {
+		for j := i; j > 0 && sel[j].Index < sel[j-1].Index; j-- {
+			sel[j], sel[j-1] = sel[j-1], sel[j]
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"barrierpoint/internal/isa"
+	"barrierpoint/internal/trace"
+)
+
+// RefineBuilder wraps a program builder so that every parallel region is
+// split into `parts` consecutive sub-regions, each executing an equal
+// share of the original region's loop iterations.
+//
+// This implements the other direction of the paper's Section V-B/VIII
+// size-adjustment proposal: embarrassingly parallel applications (RSBench,
+// XSBench, PathFinder) consist of one huge parallel region, so the single
+// barrier point is trivially representative but offers no simulation-time
+// gain. Splitting the region into intervals — sampling units smaller than
+// a full parallel region, as SimPoint does for serial programs — restores
+// the gain, at the cost of instrumenting artificial boundaries.
+//
+// Sub-regions continue each block's walk through its data (offsets
+// advance by each part's touch footprint), so the aggregate memory
+// behaviour is preserved.
+func RefineBuilder(build ProgramBuilder, parts int) ProgramBuilder {
+	if parts <= 1 {
+		return build
+	}
+	return func(threads int, v isa.Variant) (*trace.Program, error) {
+		p, err := build(threads, v)
+		if err != nil {
+			return nil, err
+		}
+		return refine(p, parts)
+	}
+}
+
+func refine(p *trace.Program, parts int) (*trace.Program, error) {
+	if !p.Finalised() {
+		return nil, fmt.Errorf("core: cannot refine unfinalised program %q", p.Name)
+	}
+	out := trace.NewProgram(fmt.Sprintf("%s(refine x%d)", p.Name, parts))
+	dataMap := make(map[*trace.DataRegion]*trace.DataRegion, len(p.Data))
+	for _, d := range p.Data {
+		dataMap[d] = out.AddData(d.Name, d.Lines)
+	}
+	blockMap := make(map[*trace.Block]*trace.Block, len(p.Blocks))
+	for _, b := range p.Blocks {
+		nb := *b
+		nb.Data = dataMap[b.Data]
+		blockMap[b] = out.AddBlock(nb)
+	}
+
+	for _, r := range p.Regions {
+		for part := 0; part < parts; part++ {
+			var work []trace.BlockExec
+			for _, w := range r.Work {
+				lo := w.Trips * int64(part) / int64(parts)
+				hi := w.Trips * int64(part+1) / int64(parts)
+				if hi == lo {
+					continue
+				}
+				nw := w
+				nw.Block = blockMap[w.Block]
+				nw.Trips = hi - lo
+				// Continue the walk where the previous part stopped.
+				nw.Offset = w.Offset + int64(float64(lo)*w.Block.LinesPerIter)
+				work = append(work, nw)
+			}
+			if len(work) == 0 {
+				continue
+			}
+			name := r.Name
+			if parts > 1 {
+				name = fmt.Sprintf("%s/%d", r.Name, part)
+			}
+			out.AddRegion(name, work...)
+		}
+	}
+	out.Finalise()
+	return out, out.Validate()
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"barrierpoint/internal/isa"
+	"barrierpoint/internal/machine"
+	"barrierpoint/internal/trace"
+)
+
+// singleBig mimics RSBench: one huge parallel region.
+func singleBig(threads int, v isa.Variant) (*trace.Program, error) {
+	p := trace.NewProgram("single-big")
+	d := p.AddData("tables", 16384)
+	var mix isa.OpMix
+	mix[isa.IntOp] = 4
+	mix[isa.FPAdd] = 3
+	mix[isa.Load] = 3
+	mix[isa.Branch] = 2
+	b := p.AddBlock(trace.Block{Name: "lookup", Mix: mix, LinesPerIter: 0.05,
+		Pattern: trace.Random, Data: d})
+	p.AddRegion("core-loop", trace.BlockExec{Block: b, Trips: 800000})
+	p.Finalise()
+	return p, p.Validate()
+}
+
+func TestRefineRegionCount(t *testing.T) {
+	for parts, want := range map[int]int{1: 1, 4: 4, 32: 32} {
+		p, err := RefineBuilder(singleBig, parts)(2, isa.Variant{ISA: isa.X8664()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.TotalRegions(); got != want {
+			t.Errorf("parts %d: %d regions, want %d", parts, got, want)
+		}
+	}
+}
+
+func TestRefineConservesTrips(t *testing.T) {
+	orig, err := singleBig(2, isa.Variant{ISA: isa.X8664()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := RefineBuilder(singleBig, 7)(2, isa.Variant{ISA: isa.X8664()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, r := range p.Regions {
+		for _, w := range r.Work {
+			total += w.Trips
+		}
+	}
+	if total != orig.Regions[0].Work[0].Trips {
+		t.Errorf("refined trips %d != original %d", total, orig.Regions[0].Work[0].Trips)
+	}
+}
+
+func TestRefineOffsetsContinueWalk(t *testing.T) {
+	p, err := RefineBuilder(singleBig, 4)(1, isa.Variant{ISA: isa.X8664()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevEnd := int64(0)
+	for i, r := range p.Regions {
+		w := r.Work[0]
+		if w.Offset != prevEnd {
+			t.Errorf("part %d: offset %d, want %d (walk must continue)", i, w.Offset, prevEnd)
+		}
+		prevEnd = w.Offset + int64(float64(w.Trips)*w.Block.LinesPerIter)
+	}
+}
+
+func TestRefineRestoresSimulationGain(t *testing.T) {
+	// A single-region workload has no gain; refined into 32 intervals the
+	// methodology should select a small subset.
+	sets, err := Discover(RefineBuilder(singleBig, 32), DiscoveryConfig{
+		Threads: 2, Runs: 1, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := &sets[0]
+	if set.TotalPoints != 32 {
+		t.Fatalf("total points = %d", set.TotalPoints)
+	}
+	if app := CheckApplicability(set); !app.OK {
+		t.Errorf("refined workload should be applicable: %s", app.Reason)
+	}
+	if pct := set.InstructionsSelectedPct(); pct > 30 {
+		t.Errorf("refined selection should be small, got %.1f%%", pct)
+	}
+	if set.Speedup() < 3 {
+		t.Errorf("refined speed-up %.1fx too small", set.Speedup())
+	}
+}
+
+func TestRefineKeepsEstimatesAccurate(t *testing.T) {
+	build := RefineBuilder(singleBig, 32)
+	sets, err := Discover(build, DiscoveryConfig{Threads: 2, Runs: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := Collect(build, CollectConfig{
+		Variant: isa.Variant{ISA: isa.ARMv8()}, Threads: 2, Reps: 20, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Validate(&sets[0], col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AvgAbsErrPct[machine.Cycles] > 3 || v.AvgAbsErrPct[machine.Instructions] > 3 {
+		t.Errorf("refined cross-arch estimate too inaccurate: %v", v.AvgAbsErrPct)
+	}
+}
+
+func TestRefinePartsOneIsIdentity(t *testing.T) {
+	p1, err := singleBig(2, isa.Variant{ISA: isa.X8664()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := RefineBuilder(singleBig, 1)(2, isa.Variant{ISA: isa.X8664()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.TotalRegions() != p2.TotalRegions() {
+		t.Error("parts=1 must not change the program")
+	}
+}
+
+func TestRefineRejectsUnfinalised(t *testing.T) {
+	bad := func(threads int, v isa.Variant) (*trace.Program, error) {
+		p := trace.NewProgram("unfinalised")
+		d := p.AddData("d", 16)
+		b := p.AddBlock(trace.Block{Name: "b", Data: d, LinesPerIter: 1})
+		p.AddRegion("r", trace.BlockExec{Block: b, Trips: 10})
+		return p, nil
+	}
+	if _, err := RefineBuilder(bad, 4)(1, isa.Variant{ISA: isa.X8664()}); err == nil {
+		t.Error("refining an unfinalised program should fail")
+	}
+}

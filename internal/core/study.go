@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"barrierpoint/internal/isa"
+)
+
+// StudyConfig parameterises one full cross-architectural evaluation of a
+// workload at one thread count and vectorisation setting: discovery on
+// x86_64, collection on both platforms, validation of every discovered set
+// against both.
+type StudyConfig struct {
+	Threads    int
+	Vectorised bool
+	// Runs is the number of discovery runs (default 10, as in the paper).
+	Runs int
+	// Reps is the number of measurement repetitions (default 20).
+	Reps int
+	Seed uint64
+	// MaxK caps the clustering search.
+	MaxK int
+}
+
+// SetEvaluation scores one discovered barrier point set against both
+// target architectures.
+type SetEvaluation struct {
+	Set BarrierPointSet
+	// X86 is the same-architecture validation (x86_64 discovery applied
+	// to the x86_64 run). Nil only on error.
+	X86 *Validation
+	// ARM is the cross-architecture validation. Nil when the set cannot
+	// be applied (ARMErr explains why).
+	ARM    *Validation
+	ARMErr error
+}
+
+// StudyResult is one workload/configuration row of the evaluation.
+type StudyResult struct {
+	App    string
+	Config StudyConfig
+	// TotalBPs is the number of barrier points in the x86_64 execution.
+	TotalBPs int
+	// Applicability reports the Section V-B checks for the best set.
+	Applicability Applicability
+	// Evals holds one entry per discovery run.
+	Evals []SetEvaluation
+	// Best indexes the evaluation with the lowest combined error across
+	// metrics and architectures (the "barrier point set with the lowest
+	// error" the paper's figures show).
+	Best int
+	// X86Col / ARMCol are the underlying collections (exported for the
+	// experiment drivers: overhead studies, per-BP phase plots).
+	X86Col *Collection
+	ARMCol *Collection
+}
+
+// BestEval returns the best-scoring evaluation.
+func (r *StudyResult) BestEval() *SetEvaluation { return &r.Evals[r.Best] }
+
+// MinMaxSelected returns the smallest and largest number of barrier points
+// selected across the discovery runs (Table III columns Min/Max).
+func (r *StudyResult) MinMaxSelected() (min, max int) {
+	for i, e := range r.Evals {
+		n := len(e.Set.Selected)
+		if i == 0 || n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return min, max
+}
+
+// RunStudy executes the full Section V workflow for one workload and
+// configuration.
+func RunStudy(app string, build ProgramBuilder, cfg StudyConfig) (*StudyResult, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 10
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 20
+	}
+
+	disc := DefaultDiscovery(cfg.Threads, cfg.Vectorised, cfg.Seed)
+	disc.Runs = cfg.Runs
+	disc.MaxK = cfg.MaxK
+	sets, err := Discover(build, disc)
+	if err != nil {
+		return nil, fmt.Errorf("core: study %s: %w", app, err)
+	}
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("core: study %s produced no barrier point sets", app)
+	}
+
+	x86Col, err := Collect(build, CollectConfig{
+		Variant: isa.Variant{ISA: isa.X8664(), Vectorised: cfg.Vectorised},
+		Threads: cfg.Threads, Reps: cfg.Reps, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: study %s x86_64 collection: %w", app, err)
+	}
+	armCol, err := Collect(build, CollectConfig{
+		Variant: isa.Variant{ISA: isa.ARMv8(), Vectorised: cfg.Vectorised},
+		Threads: cfg.Threads, Reps: cfg.Reps, Seed: cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: study %s ARMv8 collection: %w", app, err)
+	}
+
+	res := &StudyResult{
+		App:      app,
+		Config:   cfg,
+		TotalBPs: sets[0].TotalPoints,
+		X86Col:   x86Col,
+		ARMCol:   armCol,
+	}
+	bestScore := -1.0
+	for i := range sets {
+		set := &sets[i]
+		eval := SetEvaluation{Set: *set}
+		eval.X86, err = Validate(set, x86Col)
+		if err != nil {
+			return nil, fmt.Errorf("core: study %s validating set %d on x86_64: %w", app, i, err)
+		}
+		eval.ARM, eval.ARMErr = Validate(set, armCol)
+		if eval.ARMErr != nil && !errors.Is(eval.ARMErr, ErrRegionCountMismatch) {
+			return nil, fmt.Errorf("core: study %s validating set %d on ARMv8: %w", app, i, eval.ARMErr)
+		}
+		score := eval.X86.MeanErrPct()
+		if eval.ARM != nil {
+			score = (score + eval.ARM.MeanErrPct()) / 2
+		}
+		// Tie-break toward smaller sets: when two sets estimate equally
+		// well, the one with fewer barrier points needs less simulation
+		// (the trade-off Section VI-B discusses).
+		score += 0.02 * float64(len(set.Selected))
+		res.Evals = append(res.Evals, eval)
+		if bestScore < 0 || score < bestScore {
+			bestScore = score
+			res.Best = len(res.Evals) - 1
+		}
+	}
+	best := res.BestEval()
+	res.Applicability = CheckApplicability(&best.Set, x86Col, armCol)
+	return res, nil
+}

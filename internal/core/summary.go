@@ -1,0 +1,116 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+
+	"barrierpoint/internal/machine"
+)
+
+// Summary is a serialisation-friendly digest of a StudyResult, for
+// downstream tooling (dashboards, regression tracking, plotting).
+type Summary struct {
+	App        string `json:"app"`
+	Threads    int    `json:"threads"`
+	Vectorised bool   `json:"vectorised"`
+
+	TotalBarrierPoints int  `json:"total_barrier_points"`
+	DiscoveryRuns      int  `json:"discovery_runs"`
+	MinSelected        int  `json:"min_selected"`
+	MaxSelected        int  `json:"max_selected"`
+	Applicable         bool `json:"applicable"`
+	// Limitation explains why the methodology is limited, when it is.
+	Limitation string `json:"limitation,omitempty"`
+
+	BestSet SetSummary `json:"best_set"`
+}
+
+// SetSummary digests one barrier point set and its validations.
+type SetSummary struct {
+	Run                     int          `json:"discovery_run"`
+	Selected                []PointEntry `json:"selected"`
+	InstructionsSelectedPct float64      `json:"instructions_selected_pct"`
+	LargestBPPct            float64      `json:"largest_bp_pct"`
+	Speedup                 float64      `json:"speedup"`
+
+	X86 *ValidationSummary `json:"x86_64,omitempty"`
+	ARM *ValidationSummary `json:"armv8,omitempty"`
+	// ARMError is set when the set cannot be applied on ARMv8.
+	ARMError string `json:"armv8_error,omitempty"`
+}
+
+// PointEntry is one selected barrier point.
+type PointEntry struct {
+	Index      int     `json:"index"`
+	Multiplier float64 `json:"multiplier"`
+}
+
+// ValidationSummary is the per-metric estimation error of one validation.
+type ValidationSummary struct {
+	ErrCyclesPct       float64 `json:"err_cycles_pct"`
+	ErrInstructionsPct float64 `json:"err_instructions_pct"`
+	ErrL1DMissesPct    float64 `json:"err_l1d_misses_pct"`
+	ErrL2DMissesPct    float64 `json:"err_l2d_misses_pct"`
+	MaxStdDevPct       float64 `json:"max_stddev_pct"`
+}
+
+func validationSummary(v *Validation) *ValidationSummary {
+	if v == nil {
+		return nil
+	}
+	maxSD := 0.0
+	for _, sd := range v.MaxStdDevPct {
+		if sd > maxSD {
+			maxSD = sd
+		}
+	}
+	return &ValidationSummary{
+		ErrCyclesPct:       v.AvgAbsErrPct[machine.Cycles],
+		ErrInstructionsPct: v.AvgAbsErrPct[machine.Instructions],
+		ErrL1DMissesPct:    v.AvgAbsErrPct[machine.L1DMisses],
+		ErrL2DMissesPct:    v.AvgAbsErrPct[machine.L2DMisses],
+		MaxStdDevPct:       maxSD,
+	}
+}
+
+// Summarise digests the study result.
+func (r *StudyResult) Summarise() Summary {
+	min, max := r.MinMaxSelected()
+	best := r.BestEval()
+	s := Summary{
+		App:                r.App,
+		Threads:            r.Config.Threads,
+		Vectorised:         r.Config.Vectorised,
+		TotalBarrierPoints: r.TotalBPs,
+		DiscoveryRuns:      len(r.Evals),
+		MinSelected:        min,
+		MaxSelected:        max,
+		Applicable:         r.Applicability.OK,
+		Limitation:         r.Applicability.Reason,
+	}
+	set := &best.Set
+	s.BestSet = SetSummary{
+		Run:                     set.Run,
+		InstructionsSelectedPct: set.InstructionsSelectedPct(),
+		LargestBPPct:            set.LargestBPPct(),
+		Speedup:                 set.Speedup(),
+		X86:                     validationSummary(best.X86),
+		ARM:                     validationSummary(best.ARM),
+	}
+	for _, sel := range set.Selected {
+		s.BestSet.Selected = append(s.BestSet.Selected, PointEntry{
+			Index: sel.Index, Multiplier: sel.Multiplier,
+		})
+	}
+	if best.ARMErr != nil {
+		s.BestSet.ARMError = best.ARMErr.Error()
+	}
+	return s
+}
+
+// WriteJSON writes the study summary as indented JSON.
+func (r *StudyResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Summarise())
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSummarise(t *testing.T) {
+	res, err := RunStudy("phased", phasedBuilder(3, 8), StudyConfig{
+		Threads: 2, Runs: 2, Reps: 5, Seed: 71,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summarise()
+	if s.App != "phased" || s.Threads != 2 || s.Vectorised {
+		t.Errorf("identity fields wrong: %+v", s)
+	}
+	if s.TotalBarrierPoints != 24 {
+		t.Errorf("TotalBarrierPoints = %d", s.TotalBarrierPoints)
+	}
+	if s.DiscoveryRuns != 2 {
+		t.Errorf("DiscoveryRuns = %d", s.DiscoveryRuns)
+	}
+	if !s.Applicable {
+		t.Error("phased workload should be applicable")
+	}
+	if len(s.BestSet.Selected) == 0 {
+		t.Error("best set must list selected points")
+	}
+	if s.BestSet.X86 == nil || s.BestSet.ARM == nil {
+		t.Fatal("both validations should be summarised")
+	}
+	if s.BestSet.X86.ErrCyclesPct < 0 || s.BestSet.ARM.ErrCyclesPct < 0 {
+		t.Error("errors must be non-negative")
+	}
+	if s.BestSet.Speedup <= 1 {
+		t.Errorf("speedup = %f", s.BestSet.Speedup)
+	}
+}
+
+func TestSummariseMismatch(t *testing.T) {
+	res, err := RunStudy("archdep", archDependentBuilder(), StudyConfig{
+		Threads: 1, Runs: 1, Reps: 3, Seed: 81,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summarise()
+	if s.BestSet.ARM != nil {
+		t.Error("ARM summary should be nil on mismatch")
+	}
+	if s.BestSet.ARMError == "" {
+		t.Error("ARM error should be recorded")
+	}
+	if s.Applicable {
+		t.Error("mismatch should mark the study inapplicable")
+	}
+	if s.Limitation == "" {
+		t.Error("limitation reason should be recorded")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	res, err := RunStudy("phased", phasedBuilder(2, 6), StudyConfig{
+		Threads: 2, Runs: 1, Reps: 3, Seed: 91,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("round trip failed: %v\n%s", err, b.String())
+	}
+	if back.App != "phased" || back.TotalBarrierPoints != 12 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	for _, field := range []string{"instructions_selected_pct", "err_cycles_pct", "speedup"} {
+		if !strings.Contains(b.String(), field) {
+			t.Errorf("JSON missing field %q", field)
+		}
+	}
+}

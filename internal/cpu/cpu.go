@@ -1,0 +1,175 @@
+// Package cpu provides the core timing models that convert an executed
+// region (machine instruction mix + memory-hierarchy events) into cycles.
+//
+// The paper measures cycles with the PMU on an out-of-order Intel Core
+// i7-3770 (Ivy Bridge, 3.4 GHz, 4-wide) and an AppliedMicro X-Gene
+// (2.4 GHz, a narrower out-of-order core). We model each with a
+// throughput-plus-penalty model: every instruction class has an effective
+// reciprocal throughput (CPI contribution under typical overlap), and each
+// cache-miss level adds an effective penalty, discounted by a
+// memory-level-parallelism factor except for serialised pointer-chase
+// references, which pay full latency.
+package cpu
+
+import (
+	"fmt"
+
+	"barrierpoint/internal/isa"
+)
+
+// MemEvents summarises where one thread's data references were satisfied
+// during a region, split into overlappable and serialised (pointer-chase)
+// references.
+type MemEvents struct {
+	// L2Hits counts L1 misses satisfied by L2, and so on down.
+	L2Hits, L3Hits, MemAccesses float64
+	// Chase* count the same events for serialised references.
+	ChaseL2, ChaseL3, ChaseMem float64
+}
+
+// L1Misses returns the total number of L1 data misses.
+func (e MemEvents) L1Misses() float64 {
+	return e.L2Hits + e.L3Hits + e.MemAccesses + e.ChaseL2 + e.ChaseL3 + e.ChaseMem
+}
+
+// L2Misses returns the total number of L2 data misses.
+func (e MemEvents) L2Misses() float64 {
+	return e.L3Hits + e.MemAccesses + e.ChaseL3 + e.ChaseMem
+}
+
+// Add returns the element-wise sum of two event sets.
+func (e MemEvents) Add(o MemEvents) MemEvents {
+	return MemEvents{
+		L2Hits: e.L2Hits + o.L2Hits, L3Hits: e.L3Hits + o.L3Hits,
+		MemAccesses: e.MemAccesses + o.MemAccesses,
+		ChaseL2:     e.ChaseL2 + o.ChaseL2, ChaseL3: e.ChaseL3 + o.ChaseL3,
+		ChaseMem: e.ChaseMem + o.ChaseMem,
+	}
+}
+
+// Model is one core's timing model.
+type Model struct {
+	Name    string
+	FreqGHz float64
+	// CPI is the effective cycles-per-instruction contribution of each
+	// machine instruction class, assuming cache hits.
+	CPI [isa.NumOpClasses]float64
+	// Effective penalties (cycles) per reference satisfied at each level,
+	// after typical out-of-order overlap.
+	L2HitPenalty, L3HitPenalty, MemPenalty float64
+	// MLP divides the aggregate penalty of overlappable misses, modelling
+	// multiple outstanding fills.
+	MLP float64
+	// ChaseL2/L3/MemLatency are the full (unoverlapped) latencies charged
+	// to serialised references.
+	ChaseL2Latency, ChaseL3Latency, ChaseMemLatency float64
+	// BarrierCycles is the cost of one barrier synchronisation.
+	BarrierCycles float64
+}
+
+// Validate returns an error if the model is structurally unusable.
+func (m *Model) Validate() error {
+	if m.FreqGHz <= 0 {
+		return fmt.Errorf("cpu: model %q has non-positive frequency", m.Name)
+	}
+	if m.MLP < 1 {
+		return fmt.Errorf("cpu: model %q has MLP < 1", m.Name)
+	}
+	for c, v := range m.CPI {
+		if v <= 0 {
+			return fmt.Errorf("cpu: model %q has non-positive CPI for %v", m.Name, isa.OpClass(c))
+		}
+	}
+	return nil
+}
+
+// Cycles returns the cycles one thread spends executing the given machine
+// instruction mix with the given memory events.
+func (m *Model) Cycles(mix isa.OpMix, ev MemEvents) float64 {
+	var compute float64
+	for c, n := range mix {
+		compute += n * m.CPI[c]
+	}
+	overlapped := (ev.L2Hits*m.L2HitPenalty +
+		ev.L3Hits*m.L3HitPenalty +
+		ev.MemAccesses*m.MemPenalty) / m.MLP
+	serialised := ev.ChaseL2*m.ChaseL2Latency +
+		ev.ChaseL3*m.ChaseL3Latency +
+		ev.ChaseMem*m.ChaseMemLatency
+	return compute + overlapped + serialised
+}
+
+// IntelIvyBridge models the Core i7-3770: 3.4 GHz, 4-wide out-of-order,
+// aggressive memory-level parallelism.
+func IntelIvyBridge() *Model {
+	m := &Model{
+		Name:         "Intel Core i7-3770 (Ivy Bridge)",
+		FreqGHz:      3.4,
+		L2HitPenalty: 6, L3HitPenalty: 18, MemPenalty: 120,
+		MLP:            3.0,
+		ChaseL2Latency: 12, ChaseL3Latency: 30, ChaseMemLatency: 190,
+		BarrierCycles: 1500,
+	}
+	m.CPI[isa.IntOp] = 0.30
+	m.CPI[isa.FPAdd] = 0.38
+	m.CPI[isa.FPMul] = 0.38
+	m.CPI[isa.FPDiv] = 5.0
+	m.CPI[isa.Load] = 0.40
+	m.CPI[isa.Store] = 0.50
+	m.CPI[isa.Branch] = 0.45
+	m.CPI[isa.VecOp] = 0.55
+	m.CPI[isa.VecLoad] = 0.55
+	m.CPI[isa.VecStore] = 0.70
+	return m
+}
+
+// ARMInOrder models a small in-order ARMv8 core (Cortex-A53 class,
+// 1.5 GHz): no out-of-order overlap, so every instruction class costs more
+// and cache misses are barely overlapped (MLP ~1). The paper's future work
+// (Section VIII) proposes evaluating the methodology across core types;
+// this model is the in-order end of that comparison.
+func ARMInOrder() *Model {
+	m := &Model{
+		Name:         "ARM in-order (Cortex-A53 class)",
+		FreqGHz:      1.5,
+		L2HitPenalty: 10, L3HitPenalty: 28, MemPenalty: 140,
+		MLP:            1.1,
+		ChaseL2Latency: 15, ChaseL3Latency: 42, ChaseMemLatency: 210,
+		BarrierCycles: 2600,
+	}
+	m.CPI[isa.IntOp] = 0.85
+	m.CPI[isa.FPAdd] = 1.20
+	m.CPI[isa.FPMul] = 1.20
+	m.CPI[isa.FPDiv] = 12.0
+	m.CPI[isa.Load] = 1.00
+	m.CPI[isa.Store] = 1.00
+	m.CPI[isa.Branch] = 1.10
+	m.CPI[isa.VecOp] = 1.60
+	m.CPI[isa.VecLoad] = 1.60
+	m.CPI[isa.VecStore] = 1.80
+	return m
+}
+
+// APMXGene models the AppliedMicro X-Gene: 2.4 GHz, a narrower
+// out-of-order core with less memory-level parallelism.
+func APMXGene() *Model {
+	m := &Model{
+		Name:         "AppliedMicro X-Gene",
+		FreqGHz:      2.4,
+		L2HitPenalty: 8, L3HitPenalty: 24, MemPenalty: 130,
+		MLP:            2.0,
+		ChaseL2Latency: 15, ChaseL3Latency: 40, ChaseMemLatency: 200,
+		BarrierCycles: 2200,
+	}
+	m.CPI[isa.IntOp] = 0.50
+	m.CPI[isa.FPAdd] = 0.65
+	m.CPI[isa.FPMul] = 0.65
+	m.CPI[isa.FPDiv] = 7.0
+	m.CPI[isa.Load] = 0.60
+	m.CPI[isa.Store] = 0.65
+	m.CPI[isa.Branch] = 0.70
+	m.CPI[isa.VecOp] = 0.90
+	m.CPI[isa.VecLoad] = 0.90
+	m.CPI[isa.VecStore] = 1.00
+	return m
+}

@@ -1,0 +1,142 @@
+package cpu
+
+import (
+	"testing"
+
+	"barrierpoint/internal/isa"
+)
+
+func simpleMix() isa.OpMix {
+	var m isa.OpMix
+	m[isa.IntOp] = 1000
+	m[isa.FPAdd] = 500
+	m[isa.Load] = 600
+	m[isa.Store] = 200
+	m[isa.Branch] = 150
+	return m
+}
+
+func TestModelsValidate(t *testing.T) {
+	for _, m := range []*Model{IntelIvyBridge(), APMXGene()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	m := IntelIvyBridge()
+	m.FreqGHz = 0
+	if m.Validate() == nil {
+		t.Error("zero frequency should fail validation")
+	}
+	m = IntelIvyBridge()
+	m.MLP = 0.5
+	if m.Validate() == nil {
+		t.Error("MLP<1 should fail validation")
+	}
+	m = IntelIvyBridge()
+	m.CPI[isa.Load] = 0
+	if m.Validate() == nil {
+		t.Error("zero CPI should fail validation")
+	}
+}
+
+func TestCyclesPositiveAndMonotone(t *testing.T) {
+	for _, m := range []*Model{IntelIvyBridge(), APMXGene()} {
+		base := m.Cycles(simpleMix(), MemEvents{})
+		if base <= 0 {
+			t.Fatalf("%s: non-positive cycles", m.Name)
+		}
+		withMisses := m.Cycles(simpleMix(), MemEvents{L2Hits: 100, MemAccesses: 10})
+		if withMisses <= base {
+			t.Errorf("%s: misses must add cycles (%f vs %f)", m.Name, withMisses, base)
+		}
+	}
+}
+
+func TestXGeneSlowerPerInstruction(t *testing.T) {
+	// The X-Gene is a narrower core: the same work must take more cycles.
+	intel := IntelIvyBridge().Cycles(simpleMix(), MemEvents{})
+	xgene := APMXGene().Cycles(simpleMix(), MemEvents{})
+	if xgene <= intel {
+		t.Errorf("X-Gene (%f) should need more cycles than Ivy Bridge (%f)", xgene, intel)
+	}
+}
+
+func TestChaseCostsMoreThanOverlapped(t *testing.T) {
+	m := IntelIvyBridge()
+	overlapped := m.Cycles(isa.OpMix{}, MemEvents{MemAccesses: 100})
+	chase := m.Cycles(isa.OpMix{}, MemEvents{ChaseMem: 100})
+	if chase <= overlapped {
+		t.Errorf("serialised misses (%f) must cost more than overlapped (%f)", chase, overlapped)
+	}
+}
+
+func TestMemEventsTotals(t *testing.T) {
+	ev := MemEvents{L2Hits: 1, L3Hits: 2, MemAccesses: 3, ChaseL2: 4, ChaseL3: 5, ChaseMem: 6}
+	if ev.L1Misses() != 21 {
+		t.Errorf("L1Misses = %f", ev.L1Misses())
+	}
+	if ev.L2Misses() != 16 {
+		t.Errorf("L2Misses = %f", ev.L2Misses())
+	}
+}
+
+func TestMemEventsAdd(t *testing.T) {
+	a := MemEvents{L2Hits: 1, ChaseMem: 2}
+	b := MemEvents{L2Hits: 3, L3Hits: 1}
+	c := a.Add(b)
+	if c.L2Hits != 4 || c.L3Hits != 1 || c.ChaseMem != 2 {
+		t.Errorf("Add = %+v", c)
+	}
+}
+
+func TestCyclesLinearInInstructions(t *testing.T) {
+	m := APMXGene()
+	one := m.Cycles(simpleMix(), MemEvents{})
+	two := m.Cycles(simpleMix().Scale(2), MemEvents{})
+	if diff := two - 2*one; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("cycles not linear: %f vs %f", two, 2*one)
+	}
+}
+
+func TestVectorCheaperThanScalarForSameWork(t *testing.T) {
+	// 1000 scalar FP adds vs 250 AVX vector ops doing the same work.
+	m := IntelIvyBridge()
+	var scalar, vector isa.OpMix
+	scalar[isa.FPAdd] = 1000
+	vector[isa.VecOp] = 250
+	if m.Cycles(vector, MemEvents{}) >= m.Cycles(scalar, MemEvents{}) {
+		t.Error("vectorised work should take fewer cycles")
+	}
+}
+
+func TestARMInOrderSlowest(t *testing.T) {
+	// The in-order core must need more cycles than both out-of-order
+	// models for the same work.
+	inorder := ARMInOrder()
+	if err := inorder.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	work := simpleMix()
+	ev := MemEvents{L2Hits: 50, L3Hits: 20, MemAccesses: 10}
+	if inorder.Cycles(work, ev) <= APMXGene().Cycles(work, ev) {
+		t.Error("in-order core should be slower than the X-Gene")
+	}
+	if inorder.Cycles(work, ev) <= IntelIvyBridge().Cycles(work, ev) {
+		t.Error("in-order core should be slower than Ivy Bridge")
+	}
+}
+
+func TestInOrderPaysMoreForMisses(t *testing.T) {
+	// With MLP ~1 the in-order core overlaps almost nothing: the marginal
+	// cost of a memory access must exceed the X-Gene's.
+	var none MemEvents
+	miss := MemEvents{MemAccesses: 1000}
+	inorderDelta := ARMInOrder().Cycles(isa.OpMix{}, miss) - ARMInOrder().Cycles(isa.OpMix{}, none)
+	xgeneDelta := APMXGene().Cycles(isa.OpMix{}, miss) - APMXGene().Cycles(isa.OpMix{}, none)
+	if inorderDelta <= xgeneDelta {
+		t.Errorf("in-order miss cost %f should exceed out-of-order %f", inorderDelta, xgeneDelta)
+	}
+}

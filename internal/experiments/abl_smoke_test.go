@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestAblationsQuick(t *testing.T) {
+	r := NewRunner(Config{Seed: 7, Runs: 2, Reps: 5, Threads: []int{2}})
+	for _, name := range []string{"ablation-signature", "ablation-drop", "ablation-runs", "ablation-dim"} {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(r, os.Stdout); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI), plus the Section V-B/V-C limitation and
+// overhead studies, from the simulated platforms.
+//
+// Each experiment has a driver function writing the paper-shaped output to
+// an io.Writer; cmd/bpexperiments exposes them on the command line and the
+// repository benchmarks exercise each one.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"barrierpoint/internal/apps"
+	"barrierpoint/internal/core"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// Seed drives all randomness; the same seed regenerates identical
+	// tables.
+	Seed uint64
+	// Runs is the number of discovery runs per configuration (paper: 10).
+	Runs int
+	// Reps is the number of measurement repetitions (paper: 20).
+	Reps int
+	// Threads lists the thread counts to evaluate (paper: 1, 2, 4, 8).
+	Threads []int
+	// MaxK caps clustering.
+	MaxK int
+}
+
+// Default returns the paper's full configuration.
+func Default() Config {
+	return Config{Seed: 2017, Runs: 10, Reps: 20, Threads: []int{1, 2, 4, 8}}
+}
+
+// Quick returns a reduced configuration for tests and benchmarks: fewer
+// discovery runs and only the 2- and 8-thread configurations.
+func Quick() Config {
+	return Config{Seed: 2017, Runs: 3, Reps: 20, Threads: []int{2, 8}}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runs <= 0 {
+		c.Runs = 10
+	}
+	if c.Reps <= 0 {
+		c.Reps = 20
+	}
+	if len(c.Threads) == 0 {
+		c.Threads = []int{1, 2, 4, 8}
+	}
+	return c
+}
+
+type studyKey struct {
+	app        string
+	threads    int
+	vectorised bool
+}
+
+// Runner runs and caches the per-configuration studies shared by several
+// experiments (Table III, Table IV, and Figure 2 all consume the same
+// studies). It is safe for concurrent use.
+type Runner struct {
+	cfg Config
+
+	mu      sync.Mutex
+	studies map[studyKey]*core.StudyResult
+}
+
+// NewRunner returns a Runner for the configuration.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{cfg: cfg.withDefaults(), studies: map[studyKey]*core.StudyResult{}}
+}
+
+// Config returns the runner's effective configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// Study returns the cached cross-architecture study for one configuration,
+// running it on first use.
+func (r *Runner) Study(app string, threads int, vectorised bool) (*core.StudyResult, error) {
+	key := studyKey{app, threads, vectorised}
+	r.mu.Lock()
+	if s, ok := r.studies[key]; ok {
+		r.mu.Unlock()
+		return s, nil
+	}
+	r.mu.Unlock()
+
+	a, err := apps.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunStudy(app, a.Build, core.StudyConfig{
+		Threads:    threads,
+		Vectorised: vectorised,
+		Runs:       r.cfg.Runs,
+		Reps:       r.cfg.Reps,
+		Seed:       r.cfg.Seed ^ uint64(threads)<<32 ^ boolBit(vectorised)<<48 ^ hashName(app),
+		MaxK:       r.cfg.MaxK,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: study %s/%dt/vect=%v: %w", app, threads, vectorised, err)
+	}
+	r.mu.Lock()
+	r.studies[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func hashName(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// An Experiment pairs a name with its driver.
+type Experiment struct {
+	Name        string
+	Description string
+	Run         func(r *Runner, w io.Writer) error
+}
+
+// All returns every experiment in the DESIGN.md index order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table I: applications deployed and their descriptions", Table1},
+		{"table2", "Table II: micro-architectural parameters of the two platforms", Table2},
+		{"table3", "Table III: total and selected barrier points per application", Table3},
+		{"table4", "Table IV: selection, error and speed-up for the 8-thread configurations", Table4},
+		{"fig1", "Figure 1: MCB per-barrier-point CPI and L2D MPKI with two barrier point sets", Fig1},
+		{"fig2", "Figure 2: estimation error per application, thread count and prediction target", Fig2},
+		{"limits", "Section V-B: applicability limitations", Limits},
+		{"overhead", "Section V-C: measurement variability and instrumentation overhead", OverheadVariability},
+		{"headline", "Section VI headline: accuracy and simulation-time reduction summary", Headline},
+		{"ablation-signature", "Ablation: BBV+LDV vs BBV-only vs LDV-only signatures", AblationSignature},
+		{"ablation-drop", "Ablation: dropping insignificant barrier points", AblationDropInsignificant},
+		{"ablation-runs", "Ablation: number of discovery runs", AblationDiscoveryRuns},
+		{"ablation-dim", "Ablation: signature projection dimension", AblationProjectionDim},
+		{"fw-coretypes", "Future work: in-order vs out-of-order target cores", FutureWorkCoreTypes},
+		{"fw-coarsen", "Future work: coarsening LULESH's short barrier points", FutureWorkCoarsen},
+		{"fw-multiplex", "Future work: counter multiplexing cost", FutureWorkMultiplex},
+		{"fw-refine", "Future work: interval-splitting single-region applications", FutureWorkRefine},
+		{"fw-isadiff", "Future work: quantifying cross-ISA differences", FutureWorkISADiff},
+	}
+}
+
+// ByName returns the named experiment.
+func ByName(name string) (Experiment, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", name)
+}

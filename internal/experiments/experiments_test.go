@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"barrierpoint/internal/machine"
+)
+
+// tinyRunner keeps experiment tests fast: one thread count, few runs.
+func tinyRunner() *Runner {
+	return NewRunner(Config{Seed: 7, Runs: 2, Reps: 5, Threads: []int{2}})
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range All() {
+		if e.Name == "" || e.Description == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if names[e.Name] {
+			t.Errorf("duplicate experiment %q", e.Name)
+		}
+		names[e.Name] = true
+	}
+	for _, want := range []string{"table1", "table2", "table3", "table4",
+		"fig1", "fig2", "limits", "overhead", "headline"} {
+		if !names[want] {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+}
+
+func TestByNameLookup(t *testing.T) {
+	if _, err := ByName("table4"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("table99"); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	var b strings.Builder
+	if err := Table1(tinyRunner(), &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []string{"AMGMk", "CoMD", "graph500", "HPCG",
+		"HPGMG-FV", "LULESH", "MCB", "miniFE", "PathFinder", "RSBench", "XSBench"} {
+		if !strings.Contains(b.String(), app) {
+			t.Errorf("Table I missing %s", app)
+		}
+	}
+}
+
+func TestTable2Output(t *testing.T) {
+	var b strings.Builder
+	if err := Table2(tinyRunner(), &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Intel Core i7-3770", "AppliedMicro X-Gene",
+		"3.4 GHz", "2.4 GHz", "256-bit", "128-bit", "8 MB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+}
+
+func TestRunnerCachesStudies(t *testing.T) {
+	r := tinyRunner()
+	a, err := r.Study("MCB", 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Study("MCB", 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("repeated Study calls should return the cached result")
+	}
+}
+
+func TestRunnerUnknownApp(t *testing.T) {
+	if _, err := tinyRunner().Study("nope", 2, false); err == nil {
+		t.Error("unknown app should error")
+	}
+}
+
+func TestFig1Output(t *testing.T) {
+	var b strings.Builder
+	if err := Fig1(tinyRunner(), &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "BP_10") || !strings.Contains(out, "BP Set 1") {
+		t.Errorf("Figure 1 incomplete:\n%s", out)
+	}
+}
+
+func TestFig1MPKIRises(t *testing.T) {
+	r := tinyRunner()
+	res, err := r.Study("MCB", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := res.X86Col
+	first := col.PerBP[0][0][machine.L2DMisses] / col.PerBP[0][0][machine.Instructions]
+	last := col.PerBP[9][0][machine.L2DMisses] / col.PerBP[9][0][machine.Instructions]
+	if last < 4*first {
+		t.Errorf("MCB L2D MPKI should rise strongly: first %g, last %g", first, last)
+	}
+}
+
+func TestHeadlineOutput(t *testing.T) {
+	var b strings.Builder
+	r := NewRunner(Config{Seed: 7, Runs: 2, Reps: 10, Threads: []int{2}})
+	if err := Headline(r, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"worst cycle estimation error", "simulation-time reduction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("headline missing %q", want)
+		}
+	}
+}
+
+func TestLimitsOutput(t *testing.T) {
+	var b strings.Builder
+	if err := Limits(tinyRunner(), &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "RSBench") || !strings.Contains(out, "single parallel region") {
+		t.Error("limits study missing single-region diagnosis")
+	}
+	if !strings.Contains(out, "HPGMG-FV") || !strings.Contains(out, "mismatch") {
+		t.Error("limits study missing HPGMG-FV mismatch diagnosis")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := (Config{}).withDefaults()
+	if c.Runs != 10 || c.Reps != 20 || len(c.Threads) != 4 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	if Default().Runs != 10 || len(Quick().Threads) == 0 {
+		t.Error("preset configs wrong")
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	// The same seed must regenerate byte-identical output, even from a
+	// fresh runner.
+	render := func() string {
+		var b strings.Builder
+		r := NewRunner(Config{Seed: 7, Runs: 2, Reps: 5, Threads: []int{2}})
+		if err := Fig1(r, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Errorf("Fig1 output differs across identical runs:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestTable3And4QuickRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep")
+	}
+	r := NewRunner(Config{Seed: 7, Runs: 1, Reps: 5, Threads: []int{2}})
+	var b strings.Builder
+	if err := Table3(r, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, app := range []string{"AMGMk", "LULESH", "miniFE"} {
+		if !strings.Contains(out, app) {
+			t.Errorf("Table III missing %s", app)
+		}
+	}
+	b.Reset()
+	if err := Table4(r, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Speedup") {
+		t.Error("Table IV missing speed-up column")
+	}
+	b.Reset()
+	if err := Fig2(r, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "LULESH") || !strings.Contains(b.String(), "CoMD") {
+		t.Error("Figure 2 missing sub-figures")
+	}
+}
+
+func TestOverheadVariabilityQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep")
+	}
+	r := NewRunner(Config{Seed: 7, Runs: 1, Reps: 5, Threads: []int{2}})
+	var b strings.Builder
+	if err := OverheadVariability(r, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "HPGMG-FV") {
+		t.Error("overhead study must include HPGMG-FV")
+	}
+	if !strings.Contains(out, "CoMD") {
+		t.Error("overhead study must include CoMD")
+	}
+}

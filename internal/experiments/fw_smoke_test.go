@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestFutureWorkQuick(t *testing.T) {
+	r := NewRunner(Config{Seed: 7, Runs: 1, Reps: 10, Threads: []int{4}})
+	for _, name := range []string{"fw-coretypes", "fw-coarsen", "fw-multiplex"} {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(r, os.Stdout); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package isa models the two instruction set architectures the paper
+// compares: 64-bit Intel (x86_64 with AVX) and 64-bit ARM (ARMv8 with the
+// Advanced SIMD unit).
+//
+// The paper's workloads are compiled four ways (x86_64/ARMv8 ×
+// scalar/vectorised). We reproduce the two effects of that choice that the
+// methodology is exposed to:
+//
+//   - dynamic instruction count: each abstract operation of a workload
+//     kernel expands to a slightly different number of machine instructions
+//     per ISA (Blem et al. found the counts close but not identical, and
+//     the paper's Table IV reports per-ISA instruction errors separately);
+//   - vector width: AVX has 16×256-bit registers, Advanced SIMD has
+//     32×128-bit registers, so a vectorised double-precision loop retires
+//     4 elements per operation on x86_64 but only 2 on ARMv8, changing both
+//     trip counts and instruction mixes.
+package isa
+
+import "fmt"
+
+// OpClass enumerates the abstract operation classes a workload kernel is
+// expressed in. Workloads are written once in terms of these classes; each
+// ISA expands them into machine instructions.
+type OpClass int
+
+const (
+	// IntOp is scalar integer arithmetic/logic (address math, loop
+	// bookkeeping, hashing).
+	IntOp OpClass = iota
+	// FPAdd is a scalar double-precision add/sub/compare.
+	FPAdd
+	// FPMul is a scalar double-precision multiply (or FMA half).
+	FPMul
+	// FPDiv is a scalar double-precision divide or square root.
+	FPDiv
+	// Load is a scalar data load.
+	Load
+	// Store is a scalar data store.
+	Store
+	// Branch is a conditional or indirect branch.
+	Branch
+	// VecOp is one vector arithmetic operation over a full vector register.
+	VecOp
+	// VecLoad is a vector load of a full vector register.
+	VecLoad
+	// VecStore is a vector store of a full vector register.
+	VecStore
+
+	// NumOpClasses is the number of abstract operation classes.
+	NumOpClasses
+)
+
+var opClassNames = [NumOpClasses]string{
+	"IntOp", "FPAdd", "FPMul", "FPDiv", "Load", "Store", "Branch",
+	"VecOp", "VecLoad", "VecStore",
+}
+
+// String returns the mnemonic name of the class.
+func (c OpClass) String() string {
+	if c < 0 || c >= NumOpClasses {
+		return fmt.Sprintf("OpClass(%d)", int(c))
+	}
+	return opClassNames[c]
+}
+
+// IsVector reports whether the class operates on vector registers.
+func (c OpClass) IsVector() bool {
+	return c == VecOp || c == VecLoad || c == VecStore
+}
+
+// OpMix counts abstract operations per single execution of a basic block.
+// Fractional values are permitted: they represent operations that occur on
+// average (e.g. a branch mispredicted every few iterations).
+type OpMix [NumOpClasses]float64
+
+// Total returns the total number of abstract operations in the mix.
+func (m OpMix) Total() float64 {
+	var t float64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Scale returns the mix with every class multiplied by f.
+func (m OpMix) Scale(f float64) OpMix {
+	var out OpMix
+	for i, v := range m {
+		out[i] = v * f
+	}
+	return out
+}
+
+// Add returns the element-wise sum of two mixes.
+func (m OpMix) Add(o OpMix) OpMix {
+	var out OpMix
+	for i := range m {
+		out[i] = m[i] + o[i]
+	}
+	return out
+}
+
+// ISA describes one target instruction set architecture.
+type ISA struct {
+	// Name is the paper's name for the architecture ("x86_64" or "ARMv8").
+	Name string
+	// VectorBits is the SIMD register width: 256 for AVX, 128 for
+	// Advanced SIMD.
+	VectorBits int
+	// Expand gives the number of dynamic machine instructions emitted per
+	// abstract operation of each class. Values near 1.0; a CISC ISA folds
+	// some loads into ALU operands (<1 for Load), a RISC ISA needs extra
+	// address arithmetic (>1 for IntOp).
+	Expand [NumOpClasses]float64
+}
+
+// VectorLanes64 returns how many 64-bit (double-precision) elements one
+// vector register holds.
+func (a *ISA) VectorLanes64() int { return a.VectorBits / 64 }
+
+// Instructions returns the dynamic machine instruction count for the given
+// abstract mix on this ISA.
+func (a *ISA) Instructions(m OpMix) float64 {
+	var n float64
+	for c, v := range m {
+		n += v * a.Expand[c]
+	}
+	return n
+}
+
+// InstrMix returns the per-class dynamic machine instruction counts for the
+// given abstract mix (the mix after ISA expansion). The cpu timing model
+// consumes this.
+func (a *ISA) InstrMix(m OpMix) OpMix {
+	var out OpMix
+	for c, v := range m {
+		out[c] = v * a.Expand[c]
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (a *ISA) String() string { return a.Name }
+
+// X8664 returns the 64-bit Intel ISA with AVX (256-bit vectors), matching
+// the paper's -march=corei7-avx builds.
+func X8664() *ISA {
+	return &ISA{
+		Name:       "x86_64",
+		VectorBits: 256,
+		Expand: [NumOpClasses]float64{
+			IntOp:    1.00,
+			FPAdd:    1.00,
+			FPMul:    1.00,
+			FPDiv:    1.00,
+			Load:     0.88, // memory operands fold some loads into ALU ops
+			Store:    1.00,
+			Branch:   0.97, // fused compare-and-branch
+			VecOp:    1.00,
+			VecLoad:  1.00,
+			VecStore: 1.00,
+		},
+	}
+}
+
+// ARMv8 returns the 64-bit ARM ISA with the Advanced SIMD unit (128-bit
+// vectors), matching the paper's -march=armv8-a+fp+simd builds.
+func ARMv8() *ISA {
+	return &ISA{
+		Name:       "ARMv8",
+		VectorBits: 128,
+		Expand: [NumOpClasses]float64{
+			IntOp:    1.06, // separate address arithmetic on a load/store ISA
+			FPAdd:    1.00,
+			FPMul:    1.00,
+			FPDiv:    1.00,
+			Load:     1.00,
+			Store:    1.00,
+			Branch:   1.00,
+			VecOp:    1.00,
+			VecLoad:  1.00,
+			VecStore: 1.00,
+		},
+	}
+}
+
+// Variant identifies one of the four binary variants of Section V Step 1:
+// an ISA combined with whether auto-vectorisation was enabled (-O3 -mavx /
+// +simd versus -O2 scalar).
+type Variant struct {
+	ISA        *ISA
+	Vectorised bool
+}
+
+// String returns the paper's label for the variant, e.g. "x86_64-vect".
+func (v Variant) String() string {
+	if v.Vectorised {
+		return v.ISA.Name + "-vect"
+	}
+	return v.ISA.Name
+}
+
+// Variants returns the four binary variants in the paper's order:
+// x86_64, ARMv8, x86_64-vect, ARMv8-vect.
+func Variants() []Variant {
+	return []Variant{
+		{ISA: X8664(), Vectorised: false},
+		{ISA: ARMv8(), Vectorised: false},
+		{ISA: X8664(), Vectorised: true},
+		{ISA: ARMv8(), Vectorised: true},
+	}
+}

@@ -1,0 +1,133 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassString(t *testing.T) {
+	if IntOp.String() != "IntOp" || VecStore.String() != "VecStore" {
+		t.Error("OpClass names wrong")
+	}
+	if OpClass(99).String() != "OpClass(99)" {
+		t.Error("out-of-range OpClass should fall back to numeric form")
+	}
+}
+
+func TestIsVector(t *testing.T) {
+	for c := OpClass(0); c < NumOpClasses; c++ {
+		want := c == VecOp || c == VecLoad || c == VecStore
+		if c.IsVector() != want {
+			t.Errorf("%v.IsVector() = %v", c, c.IsVector())
+		}
+	}
+}
+
+func TestOpMixTotalScaleAdd(t *testing.T) {
+	var m OpMix
+	m[IntOp] = 2
+	m[Load] = 3
+	if m.Total() != 5 {
+		t.Errorf("Total = %f", m.Total())
+	}
+	s := m.Scale(2)
+	if s[IntOp] != 4 || s[Load] != 6 {
+		t.Errorf("Scale wrong: %v", s)
+	}
+	a := m.Add(s)
+	if a[IntOp] != 6 || a[Load] != 9 {
+		t.Errorf("Add wrong: %v", a)
+	}
+}
+
+func TestVectorWidths(t *testing.T) {
+	if X8664().VectorLanes64() != 4 {
+		t.Errorf("AVX should hold 4 doubles, got %d", X8664().VectorLanes64())
+	}
+	if ARMv8().VectorLanes64() != 2 {
+		t.Errorf("Advanced SIMD should hold 2 doubles, got %d", ARMv8().VectorLanes64())
+	}
+}
+
+func TestInstructionCountsClose(t *testing.T) {
+	// Blem et al.: ISA effects on instruction count are small. A typical
+	// scalar mix should expand within ~8% between the two ISAs.
+	var m OpMix
+	m[IntOp] = 4
+	m[FPAdd] = 2
+	m[FPMul] = 2
+	m[Load] = 3
+	m[Store] = 1
+	m[Branch] = 1
+	x := X8664().Instructions(m)
+	a := ARMv8().Instructions(m)
+	if x <= 0 || a <= 0 {
+		t.Fatal("instruction counts must be positive")
+	}
+	ratio := a / x
+	if ratio < 0.92 || ratio > 1.08 {
+		t.Errorf("cross-ISA instruction ratio %f outside [0.92,1.08]", ratio)
+	}
+	if x == a {
+		t.Error("ISAs should not produce identical counts for a mixed block")
+	}
+}
+
+func TestInstrMixMatchesInstructions(t *testing.T) {
+	if err := quick.Check(func(a, b, c uint8) bool {
+		var m OpMix
+		m[IntOp] = float64(a % 16)
+		m[Load] = float64(b % 16)
+		m[VecOp] = float64(c % 16)
+		for _, arch := range []*ISA{X8664(), ARMv8()} {
+			if math.Abs(arch.InstrMix(m).Total()-arch.Instructions(m)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstructionsMonotoneInMix(t *testing.T) {
+	arch := X8664()
+	var m OpMix
+	m[Load] = 1
+	base := arch.Instructions(m)
+	m[Load] = 2
+	if arch.Instructions(m) <= base {
+		t.Error("more abstract ops must mean more instructions")
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	vs := Variants()
+	want := []string{"x86_64", "ARMv8", "x86_64-vect", "ARMv8-vect"}
+	if len(vs) != len(want) {
+		t.Fatalf("Variants() returned %d entries", len(vs))
+	}
+	for i, v := range vs {
+		if v.String() != want[i] {
+			t.Errorf("variant %d = %q, want %q", i, v.String(), want[i])
+		}
+	}
+}
+
+func TestVariantsVectorisationFlags(t *testing.T) {
+	vs := Variants()
+	if vs[0].Vectorised || vs[1].Vectorised || !vs[2].Vectorised || !vs[3].Vectorised {
+		t.Error("vectorisation flags in wrong order")
+	}
+}
+
+func TestExpandFactorsPositive(t *testing.T) {
+	for _, arch := range []*ISA{X8664(), ARMv8()} {
+		for c := OpClass(0); c < NumOpClasses; c++ {
+			if arch.Expand[c] <= 0 {
+				t.Errorf("%s expand factor for %v must be positive", arch.Name, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package mem models the data-side memory hierarchy of the two machines in
+// the paper's Table II (private L1D and L2, shared 8 MB L3) and provides the
+// LRU stack-distance computation that BarrierPoint's LDV signatures are
+// built from.
+package mem
+
+import "fmt"
+
+// Level identifies where in the hierarchy a data reference was satisfied.
+type Level int
+
+const (
+	// L1 means the reference hit in the first-level data cache.
+	L1 Level = iota
+	// L2 means it missed L1 and hit the second-level cache.
+	L2
+	// L3 means it missed L1 and L2 and hit the shared last-level cache.
+	L3
+	// Memory means it missed the entire hierarchy.
+	Memory
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case L3:
+		return "L3"
+	case Memory:
+		return "Memory"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Cache is a set-associative, write-allocate cache with true-LRU
+// replacement, operating at cache-line granularity.
+type Cache struct {
+	name  string
+	sets  uint64
+	ways  int
+	tags  []uint64 // sets*ways entries; 0 means invalid (tags stored +1)
+	stamp []uint64 // LRU timestamps parallel to tags
+	clock uint64
+
+	// Hits and Misses count accesses (not fills) since the last Reset.
+	Hits, Misses uint64
+}
+
+// NewCache builds a cache of the given total size and associativity.
+// sizeBytes must be a multiple of ways*64 and the resulting set count must
+// be a power of two (true for every configuration in Table II).
+func NewCache(name string, sizeBytes, ways int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("mem: cache %q with non-positive geometry", name))
+	}
+	lines := sizeBytes / 64
+	if lines%ways != 0 {
+		panic(fmt.Sprintf("mem: cache %q size %d not divisible by %d ways", name, sizeBytes, ways))
+	}
+	sets := lines / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: cache %q set count %d not a power of two", name, sets))
+	}
+	return &Cache{
+		name:  name,
+		sets:  uint64(sets),
+		ways:  ways,
+		tags:  make([]uint64, sets*ways),
+		stamp: make([]uint64, sets*ways),
+	}
+}
+
+// Name returns the cache's diagnostic name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return int(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// SizeBytes returns the total capacity.
+func (c *Cache) SizeBytes() int { return int(c.sets) * c.ways * 64 }
+
+// Access looks line up, fills it on a miss, and reports whether it hit.
+func (c *Cache) Access(line uint64) bool {
+	c.clock++
+	set := line % c.sets
+	base := int(set) * c.ways
+	enc := line + 1
+	victim, oldest := base, c.stamp[base]
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == enc {
+			c.stamp[i] = c.clock
+			c.Hits++
+			return true
+		}
+		if c.stamp[i] < oldest {
+			victim, oldest = i, c.stamp[i]
+		}
+	}
+	c.Misses++
+	c.tags[victim] = enc
+	c.stamp[victim] = c.clock
+	return false
+}
+
+// Fill inserts line without counting a demand access (used by the
+// prefetcher). An already-present line just has its recency refreshed.
+func (c *Cache) Fill(line uint64) {
+	c.clock++
+	set := line % c.sets
+	base := int(set) * c.ways
+	enc := line + 1
+	victim, oldest := base, c.stamp[base]
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == enc {
+			c.stamp[i] = c.clock
+			return
+		}
+		if c.stamp[i] < oldest {
+			victim, oldest = i, c.stamp[i]
+		}
+	}
+	c.tags[victim] = enc
+	c.stamp[victim] = c.clock
+}
+
+// Contains reports whether line is resident, without disturbing LRU state.
+func (c *Cache) Contains(line uint64) bool {
+	set := line % c.sets
+	base := int(set) * c.ways
+	enc := line + 1
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == enc {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset invalidates all contents and clears counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamp[i] = 0
+	}
+	c.clock = 0
+	c.Hits = 0
+	c.Misses = 0
+}

@@ -1,0 +1,126 @@
+package mem
+
+import "testing"
+
+func TestNewCacheGeometry(t *testing.T) {
+	c := NewCache("L1", 32*1024, 8)
+	if c.Sets() != 64 || c.Ways() != 8 || c.SizeBytes() != 32*1024 {
+		t.Errorf("geometry: sets=%d ways=%d size=%d", c.Sets(), c.Ways(), c.SizeBytes())
+	}
+}
+
+func TestNewCachePanicsOnBadGeometry(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCache("x", 0, 8) },
+		func() { NewCache("x", 32*1024, 0) },
+		func() { NewCache("x", 3*1024, 8) }, // 48 lines / 8 ways = 6 sets, not power of 2
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache("t", 4*1024, 4)
+	if c.Access(100) {
+		t.Error("first access must miss")
+	}
+	if !c.Access(100) {
+		t.Error("second access must hit")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("counters: hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2 sets x 2 ways: lines with the same parity collide.
+	c := NewCache("t", 256, 2)
+	if c.Sets() != 2 {
+		t.Fatalf("sets = %d", c.Sets())
+	}
+	c.Access(0) // set 0
+	c.Access(2) // set 0, second way
+	c.Access(0) // refresh 0, making 2 the LRU
+	c.Access(4) // set 0, evicts 2
+	if !c.Contains(0) {
+		t.Error("line 0 should survive (recently used)")
+	}
+	if c.Contains(2) {
+		t.Error("line 2 should be evicted (LRU)")
+	}
+	if !c.Contains(4) {
+		t.Error("line 4 should be resident")
+	}
+}
+
+func TestCacheCapacityWorkingSets(t *testing.T) {
+	// A working set that fits must stop missing after the first sweep; a
+	// working set 2x the capacity swept cyclically must always miss (LRU
+	// pathological case).
+	c := NewCache("t", 64*64, 4) // 64 lines
+	for sweep := 0; sweep < 3; sweep++ {
+		for line := uint64(0); line < 64; line++ {
+			c.Access(line)
+		}
+	}
+	if c.Misses != 64 {
+		t.Errorf("fitting working set: misses = %d, want 64 cold only", c.Misses)
+	}
+	c.Reset()
+	for sweep := 0; sweep < 3; sweep++ {
+		for line := uint64(0); line < 128; line++ {
+			c.Access(line)
+		}
+	}
+	if c.Hits != 0 {
+		t.Errorf("cyclic overflow sweep should never hit under LRU, got %d hits", c.Hits)
+	}
+}
+
+func TestCacheFillDoesNotCount(t *testing.T) {
+	c := NewCache("t", 4*1024, 4)
+	c.Fill(7)
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Error("Fill must not count as an access")
+	}
+	if !c.Access(7) {
+		t.Error("filled line should hit")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache("t", 4*1024, 4)
+	c.Access(1)
+	c.Access(1)
+	c.Reset()
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Error("counters must clear")
+	}
+	if c.Contains(1) {
+		t.Error("contents must clear")
+	}
+}
+
+func TestCacheName(t *testing.T) {
+	if NewCache("L2-3", 1024, 4).Name() != "L2-3" {
+		t.Error("name not preserved")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for l, want := range map[Level]string{L1: "L1", L2: "L2", L3: "L3", Memory: "Memory"} {
+		if l.String() != want {
+			t.Errorf("%d: %q", l, l.String())
+		}
+	}
+	if Level(9).String() != "Level(9)" {
+		t.Error("unknown level should render numerically")
+	}
+}

@@ -1,0 +1,144 @@
+package mem
+
+import "testing"
+
+func twoThreadConfig(prefetch int) HierarchyConfig {
+	return HierarchyConfig{
+		L1Of:    []int{0, 1},
+		L2Of:    []int{0, 0}, // shared L2, like an X-Gene cluster
+		L1Bytes: 4 * 1024, L1Ways: 4,
+		L2Bytes: 32 * 1024, L2Ways: 8,
+		L3Bytes: 256 * 1024, L3Ways: 16,
+		PrefetchDegree: prefetch,
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := NewHierarchy(twoThreadConfig(0))
+	if got := h.Access(0, 42); got != Memory {
+		t.Errorf("cold access = %v, want Memory", got)
+	}
+	if got := h.Access(0, 42); got != L1 {
+		t.Errorf("hot access = %v, want L1", got)
+	}
+}
+
+func TestHierarchySharedL2BetweenThreads(t *testing.T) {
+	h := NewHierarchy(twoThreadConfig(0))
+	h.Access(0, 42) // thread 0 pulls the line through L2
+	if got := h.Access(1, 42); got != L2 {
+		t.Errorf("thread 1 should hit shared L2, got %v", got)
+	}
+}
+
+func TestHierarchyPrivateL1(t *testing.T) {
+	h := NewHierarchy(twoThreadConfig(0))
+	h.Access(0, 42)
+	h.Access(1, 42)
+	// Thread 1's access must not have polluted thread 0's L1.
+	if !h.L1Cache(0).Contains(42) {
+		t.Error("thread 0 L1 lost its line")
+	}
+	if h.L1Cache(0) == h.L1Cache(1) {
+		t.Error("threads should have distinct L1s in this topology")
+	}
+}
+
+func TestHierarchyL3SharedByAll(t *testing.T) {
+	cfg := twoThreadConfig(0)
+	cfg.L2Of = []int{0, 1} // private L2s
+	h := NewHierarchy(cfg)
+	h.Access(0, 42)
+	if got := h.Access(1, 42); got != L3 {
+		t.Errorf("thread 1 with private L2 should hit shared L3, got %v", got)
+	}
+}
+
+func TestPrefetcherCutsSequentialMisses(t *testing.T) {
+	miss := func(prefetch int) uint64 {
+		h := NewHierarchy(twoThreadConfig(prefetch))
+		for line := uint64(0); line < 1000; line++ {
+			h.Access(0, line)
+		}
+		return h.L1Cache(0).Misses
+	}
+	none, deg1, deg4 := miss(0), miss(1), miss(4)
+	if none != 1000 {
+		t.Errorf("no prefetch: %d misses, want 1000", none)
+	}
+	if deg1 >= none || deg4 >= deg1 {
+		t.Errorf("prefetch should monotonically cut misses: %d, %d, %d", none, deg1, deg4)
+	}
+	if deg4 > 260 {
+		t.Errorf("degree-4 prefetch should cut sequential misses to ~20%%, got %d", deg4)
+	}
+}
+
+func TestPrefetcherDoesNotHelpRandom(t *testing.T) {
+	runMisses := func(prefetch int) uint64 {
+		h := NewHierarchy(twoThreadConfig(prefetch))
+		x := uint64(12345)
+		for i := 0; i < 2000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			h.Access(0, (x>>33)%100000)
+		}
+		return h.L1Cache(0).Misses
+	}
+	none, deg4 := runMisses(0), runMisses(4)
+	if float64(deg4) < 0.9*float64(none) {
+		t.Errorf("prefetch should not significantly help random access: %d vs %d", deg4, none)
+	}
+}
+
+func TestStreamPrefetcherNearlyEliminatesSequentialMisses(t *testing.T) {
+	cfg := twoThreadConfig(4)
+	cfg.PrefetchStream = true
+	h := NewHierarchy(cfg)
+	for line := uint64(0); line < 10000; line++ {
+		h.Access(0, line)
+	}
+	if m := h.L1Cache(0).Misses; m > 100 {
+		t.Errorf("stream prefetch should nearly eliminate sequential misses, got %d", m)
+	}
+	// Next-line-on-miss (Intel style) must leave far more misses.
+	h2 := NewHierarchy(twoThreadConfig(1))
+	for line := uint64(0); line < 10000; line++ {
+		h2.Access(0, line)
+	}
+	if ratio := float64(h2.L1Cache(0).Misses) / float64(h.L1Cache(0).Misses+1); ratio < 20 {
+		t.Errorf("Intel-style prefetch should leave >>20x more misses, ratio %f", ratio)
+	}
+}
+
+func TestStreamPrefetcherDoesNotFireOnRandom(t *testing.T) {
+	cfg := twoThreadConfig(4)
+	cfg.PrefetchStream = true
+	h := NewHierarchy(cfg)
+	x := uint64(99)
+	for i := 0; i < 3000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		h.Access(0, (x>>33)%1000000)
+	}
+	misses := h.L1Cache(0).Misses
+	if float64(misses) < 0.95*3000 {
+		t.Errorf("random stream should still miss nearly always, got %d/3000", misses)
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := NewHierarchy(twoThreadConfig(0))
+	h.Access(0, 42)
+	h.Reset()
+	if got := h.Access(0, 42); got != Memory {
+		t.Errorf("after reset access should miss everywhere, got %v", got)
+	}
+}
+
+func TestHierarchyPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHierarchy(HierarchyConfig{L1Of: []int{0}, L2Of: []int{0, 1}})
+}

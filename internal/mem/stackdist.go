@@ -1,0 +1,88 @@
+package mem
+
+// ColdDistance is the reuse distance reported for the first access to a
+// line (an infinite stack distance).
+const ColdDistance = -1
+
+// StackDist computes LRU stack distances (reuse distances): for each
+// access, the number of distinct lines referenced since the previous
+// access to the same line. BarrierPoint builds its LDV signatures from the
+// histogram of these distances per barrier point.
+//
+// The implementation is the classic time-stamp + Fenwick-tree algorithm:
+// O(log n) per access instead of the O(n) naive LRU stack walk.
+type StackDist struct {
+	last  map[uint64]int // line -> time of most recent access (1-based)
+	bit   []int          // Fenwick tree over times; 1 marks "most recent access to its line"
+	point []byte         // point values backing the tree, for capacity growth
+	time  int
+}
+
+// NewStackDist returns an empty distance computer.
+func NewStackDist() *StackDist {
+	return &StackDist{last: make(map[uint64]int), bit: make([]int, 1), point: make([]byte, 1)}
+}
+
+// grow doubles the tree capacity. A Fenwick tree cannot simply be appended
+// to (a new node covers a range of existing indices), so the tree is
+// rebuilt from the point values; the cost amortises to O(log n) per access.
+func (s *StackDist) grow(need int) {
+	capacity := len(s.bit)
+	for capacity <= need {
+		capacity *= 2
+	}
+	s.point = append(s.point, make([]byte, capacity-len(s.point))...)
+	s.bit = make([]int, capacity)
+	for t := 1; t < s.time; t++ {
+		if s.point[t] != 0 {
+			s.bitAdd(t, 1)
+		}
+	}
+}
+
+func (s *StackDist) bitAdd(i, delta int) {
+	for ; i < len(s.bit); i += i & (-i) {
+		s.bit[i] += delta
+	}
+}
+
+func (s *StackDist) bitSum(i int) int {
+	var t int
+	for ; i > 0; i -= i & (-i) {
+		t += s.bit[i]
+	}
+	return t
+}
+
+// Access records a reference to line and returns its reuse distance, or
+// ColdDistance for the first reference to that line. A distance of 0 means
+// the line was the most recently referenced line.
+func (s *StackDist) Access(line uint64) int {
+	s.time++
+	if len(s.bit) <= s.time {
+		s.grow(s.time)
+	}
+	dist := ColdDistance
+	if t0, ok := s.last[line]; ok {
+		// Distinct lines touched strictly after t0: each has exactly one
+		// "most recent" marker in (t0, time).
+		dist = s.bitSum(s.time-1) - s.bitSum(t0)
+		s.bitAdd(t0, -1)
+		s.point[t0] = 0
+	}
+	s.bitAdd(s.time, 1)
+	s.point[s.time] = 1
+	s.last[line] = s.time
+	return dist
+}
+
+// Distinct returns the number of distinct lines seen since the last Reset.
+func (s *StackDist) Distinct() int { return len(s.last) }
+
+// Reset clears all history.
+func (s *StackDist) Reset() {
+	s.last = make(map[uint64]int)
+	s.bit = make([]int, 1)
+	s.point = make([]byte, 1)
+	s.time = 0
+}

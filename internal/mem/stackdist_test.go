@@ -1,0 +1,114 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// naiveStackDist is the O(n*m) reference implementation: an explicit LRU
+// stack.
+type naiveStackDist struct{ stack []uint64 }
+
+func (n *naiveStackDist) Access(line uint64) int {
+	for i, l := range n.stack {
+		if l == line {
+			copy(n.stack[1:], n.stack[:i])
+			n.stack[0] = line
+			return i
+		}
+	}
+	n.stack = append([]uint64{line}, n.stack...)
+	return ColdDistance
+}
+
+func TestStackDistSimpleSequence(t *testing.T) {
+	s := NewStackDist()
+	// a b c a : distance of second a = 2 (b and c in between)
+	if d := s.Access('a'); d != ColdDistance {
+		t.Errorf("cold a = %d", d)
+	}
+	if d := s.Access('b'); d != ColdDistance {
+		t.Errorf("cold b = %d", d)
+	}
+	if d := s.Access('c'); d != ColdDistance {
+		t.Errorf("cold c = %d", d)
+	}
+	if d := s.Access('a'); d != 2 {
+		t.Errorf("reuse a = %d, want 2", d)
+	}
+	if d := s.Access('a'); d != 0 {
+		t.Errorf("immediate reuse a = %d, want 0", d)
+	}
+}
+
+func TestStackDistMatchesNaive(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		fast := NewStackDist()
+		slow := &naiveStackDist{}
+		x := seed
+		for i := 0; i < 400; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			line := (x >> 33) % 30 // small space forces frequent reuse
+			if fast.Access(line) != slow.Access(line) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStackDistDistinct(t *testing.T) {
+	s := NewStackDist()
+	for _, l := range []uint64{1, 2, 3, 2, 1} {
+		s.Access(l)
+	}
+	if s.Distinct() != 3 {
+		t.Errorf("Distinct = %d, want 3", s.Distinct())
+	}
+}
+
+func TestStackDistReset(t *testing.T) {
+	s := NewStackDist()
+	s.Access(5)
+	s.Reset()
+	if s.Distinct() != 0 {
+		t.Error("Reset should clear history")
+	}
+	if d := s.Access(5); d != ColdDistance {
+		t.Errorf("after reset access should be cold, got %d", d)
+	}
+}
+
+func TestStackDistSequentialScanAllCold(t *testing.T) {
+	s := NewStackDist()
+	for line := uint64(0); line < 1000; line++ {
+		if d := s.Access(line); d != ColdDistance {
+			t.Fatalf("line %d: distance %d, want cold", line, d)
+		}
+	}
+}
+
+func TestStackDistCyclicSweep(t *testing.T) {
+	// Sweeping N lines cyclically gives every re-access distance N-1.
+	s := NewStackDist()
+	const n = 50
+	for line := uint64(0); line < n; line++ {
+		s.Access(line)
+	}
+	for line := uint64(0); line < n; line++ {
+		if d := s.Access(line); d != n-1 {
+			t.Fatalf("cyclic reuse of %d: distance %d, want %d", line, d, n-1)
+		}
+	}
+}
+
+func BenchmarkStackDistAccess(b *testing.B) {
+	s := NewStackDist()
+	x := uint64(1)
+	for i := 0; i < b.N; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		s.Access((x >> 33) % 4096)
+	}
+}

@@ -1,0 +1,273 @@
+// Package omp is the simulated OpenMP runtime: it executes a trace.Program
+// on a machine model with a given thread count, statically scheduling each
+// parallel loop across threads and synchronising at the implicit barrier
+// that ends every parallel region. One region execution is exactly one of
+// the paper's barrier points.
+//
+// The runtime exposes instrumentation hooks (used by the pin package to
+// build BBVs and LDVs) and an optional schedule jitter that models the
+// run-to-run thread-interleaving differences responsible for the paper's
+// multiple barrier point sets.
+package omp
+
+import (
+	"fmt"
+
+	"barrierpoint/internal/cpu"
+	"barrierpoint/internal/isa"
+	"barrierpoint/internal/machine"
+	"barrierpoint/internal/mem"
+	"barrierpoint/internal/trace"
+	"barrierpoint/internal/xrand"
+)
+
+// Fork-join bookkeeping the OpenMP runtime executes per thread per parallel
+// region. Small in absolute terms, but a visible fraction of the paper's
+// very short LULESH/HPGMG-FV regions.
+const (
+	forkJoinIntOps   = 900
+	forkJoinBranches = 220
+	forkJoinLoads    = 260
+	forkJoinStores   = 120
+)
+
+// Hooks receive instrumentation callbacks during execution. Any field may
+// be nil.
+type Hooks struct {
+	// RegionStart fires before a region's work is scheduled.
+	RegionStart func(r *trace.Region)
+	// BlockExec fires once per (thread, work item) with the scalar trip
+	// count the thread executes. BBV construction consumes this.
+	BlockExec func(thread int, b *trace.Block, trips int64)
+	// Touch fires for every cache-line reference, in per-thread program
+	// order. LDV construction consumes this.
+	Touch func(thread int, t trace.Touch)
+	// RegionEnd fires after the closing barrier.
+	RegionEnd func(r *trace.Region)
+}
+
+// Config parameterises one run.
+type Config struct {
+	Machine *machine.Machine
+	Variant isa.Variant
+	Threads int
+	// Jitter, when non-nil, perturbs static loop partition boundaries to
+	// model scheduling/interleaving variability across discovery runs.
+	Jitter *xrand.Rand
+	// JitterFrac is the maximum fraction of a thread's chunk that can
+	// migrate to a neighbour (default 0.02 when Jitter is set).
+	JitterFrac float64
+	// WarmCaches models the state left by application initialisation: the
+	// paper's region of interest starts after init, which has already
+	// touched every data array. Each data region is swept into the caches
+	// (round-robin across threads) before the first parallel region.
+	WarmCaches bool
+	// SkipMemory disables memory simulation entirely: no touches are
+	// generated, and the reported counters carry zero cache misses and
+	// memory-free cycle counts. Discovery re-runs use this — they only
+	// need basic-block execution counts, and skipping the memory system
+	// makes them an order of magnitude cheaper.
+	SkipMemory bool
+	Hooks      Hooks
+}
+
+// RegionResult holds the true (noise-free, uninstrumented) counters of one
+// barrier point, per thread.
+type RegionResult struct {
+	Index     int
+	Name      string
+	PerThread []machine.Counters
+}
+
+// Total returns the region's counters summed over threads.
+func (r *RegionResult) Total() machine.Counters {
+	var t machine.Counters
+	for _, c := range r.PerThread {
+		t = t.Add(c)
+	}
+	return t
+}
+
+// RunResult is the outcome of executing a whole program.
+type RunResult struct {
+	Program *trace.Program
+	Threads int
+	Regions []RegionResult
+}
+
+// TotalPerThread returns each thread's counters summed over all regions —
+// what the paper's region-of-interest measurement reports.
+func (r *RunResult) TotalPerThread() []machine.Counters {
+	out := make([]machine.Counters, r.Threads)
+	for _, reg := range r.Regions {
+		for t, c := range reg.PerThread {
+			out[t] = out[t].Add(c)
+		}
+	}
+	return out
+}
+
+// Total returns the counters summed over threads and regions.
+func (r *RunResult) Total() machine.Counters {
+	var t machine.Counters
+	for _, pt := range r.TotalPerThread() {
+		t = t.Add(pt)
+	}
+	return t
+}
+
+// partition splits trips into one contiguous chunk per thread (OpenMP
+// static schedule), optionally jittering internal boundaries.
+func partition(trips int64, threads int, jitter *xrand.Rand, frac float64) []int64 {
+	bounds := make([]int64, threads+1)
+	for i := 0; i <= threads; i++ {
+		bounds[i] = trips * int64(i) / int64(threads)
+	}
+	if jitter != nil && frac > 0 {
+		chunk := float64(trips) / float64(threads)
+		maxShift := int64(chunk * frac)
+		if maxShift > 0 {
+			for i := 1; i < threads; i++ {
+				shift := int64(jitter.Intn(int(2*maxShift+1))) - maxShift
+				b := bounds[i] + shift
+				if b < bounds[i-1] {
+					b = bounds[i-1]
+				}
+				if b > bounds[i+1] {
+					b = bounds[i+1]
+				}
+				bounds[i] = b
+			}
+		}
+	}
+	return bounds
+}
+
+// Run executes the program and returns true per-barrier-point counters.
+func Run(p *trace.Program, cfg Config) (*RunResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("omp: no machine configured")
+	}
+	if cfg.Variant.ISA == nil {
+		return nil, fmt.Errorf("omp: no ISA variant configured")
+	}
+	if cfg.Variant.ISA.Name != cfg.Machine.ISA.Name {
+		return nil, fmt.Errorf("omp: binary for %s cannot run on %s (a %s machine)",
+			cfg.Variant.ISA.Name, cfg.Machine.Name, cfg.Machine.ISA.Name)
+	}
+	hier, err := cfg.Machine.NewHierarchy(cfg.Threads)
+	if err != nil {
+		return nil, err
+	}
+	frac := cfg.JitterFrac
+	if cfg.Jitter != nil && frac == 0 {
+		frac = 0.02
+	}
+
+	if cfg.WarmCaches {
+		for _, d := range p.Data {
+			for i := int64(0); i < d.Lines; i++ {
+				hier.Warm(int(i)%cfg.Threads, d.Base+uint64(i))
+			}
+		}
+	}
+
+	res := &RunResult{Program: p, Threads: cfg.Threads}
+	res.Regions = make([]RegionResult, 0, len(p.Regions))
+
+	model := cfg.Machine.CPU
+	var forkJoin isa.OpMix
+	forkJoin[isa.IntOp] = forkJoinIntOps
+	forkJoin[isa.Branch] = forkJoinBranches
+	forkJoin[isa.Load] = forkJoinLoads
+	forkJoin[isa.Store] = forkJoinStores
+	forkJoin = cfg.Variant.ISA.InstrMix(forkJoin)
+
+	mixes := make([]isa.OpMix, cfg.Threads)
+	events := make([]cpu.MemEvents, cfg.Threads)
+
+	for ri := range p.Regions {
+		region := &p.Regions[ri]
+		if cfg.Hooks.RegionStart != nil {
+			cfg.Hooks.RegionStart(region)
+		}
+		for t := range mixes {
+			mixes[t] = forkJoin
+			events[t] = cpu.MemEvents{}
+		}
+		for _, w := range region.Work {
+			bounds := partition(w.Trips, cfg.Threads, cfg.Jitter, frac)
+			for t := 0; t < cfg.Threads; t++ {
+				start, n := bounds[t], bounds[t+1]-bounds[t]
+				if n <= 0 {
+					continue
+				}
+				compiled := trace.Compile(w.Block, n, cfg.Variant)
+				mixes[t] = mixes[t].Add(compiled.InstrMix())
+				if cfg.Hooks.BlockExec != nil {
+					cfg.Hooks.BlockExec(t, w.Block, n)
+				}
+				if cfg.SkipMemory {
+					continue
+				}
+				ev := &events[t]
+				touchHook := cfg.Hooks.Touch
+				trace.EmitTouches(w, start, n, func(touch trace.Touch) {
+					level := hier.Access(t, touch.Line)
+					if touch.Chase {
+						switch level {
+						case mem.L2:
+							ev.ChaseL2++
+						case mem.L3:
+							ev.ChaseL3++
+						case mem.Memory:
+							ev.ChaseMem++
+						}
+					} else {
+						switch level {
+						case mem.L2:
+							ev.L2Hits++
+						case mem.L3:
+							ev.L3Hits++
+						case mem.Memory:
+							ev.MemAccesses++
+						}
+					}
+					if touchHook != nil {
+						touchHook(t, touch)
+					}
+				})
+			}
+		}
+		// Threads synchronise at the implicit barrier: every thread's
+		// cycle counter advances to the slowest thread, plus the barrier
+		// cost itself.
+		var maxCycles float64
+		perThread := make([]machine.Counters, cfg.Threads)
+		for t := 0; t < cfg.Threads; t++ {
+			c := model.Cycles(mixes[t], events[t])
+			if c > maxCycles {
+				maxCycles = c
+			}
+			// L2 miss PMU events include prefetcher-generated refills;
+			// prefetch fills hide latency, so they do not add to cycles.
+			pf := hier.DrainPrefetchStats(t)
+			perThread[t][machine.Instructions] = mixes[t].Total()
+			perThread[t][machine.L1DMisses] = events[t].L1Misses()
+			perThread[t][machine.L2DMisses] = events[t].L2Misses() + float64(pf.L2FillMisses)
+		}
+		for t := 0; t < cfg.Threads; t++ {
+			perThread[t][machine.Cycles] = maxCycles + model.BarrierCycles
+		}
+		res.Regions = append(res.Regions, RegionResult{
+			Index: region.Index, Name: region.Name, PerThread: perThread,
+		})
+		if cfg.Hooks.RegionEnd != nil {
+			cfg.Hooks.RegionEnd(region)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,178 @@
+// Package pin is the reproduction's analogue of the paper's custom Pintool
+// (dynamic binary instrumentation): it observes an execution and collects,
+// for every barrier point, the Basic Block Vector (BBV) and the LRU-stack
+// Distance Vector (LDV) the BarrierPoint methodology clusters.
+//
+// As in BarrierPoint, vectors are collected per thread and concatenated, so
+// the signature captures both what code ran and how work was distributed.
+package pin
+
+import (
+	"fmt"
+	"math/bits"
+
+	"barrierpoint/internal/mem"
+	"barrierpoint/internal/omp"
+	"barrierpoint/internal/trace"
+)
+
+// NumDistBins is the number of log2-spaced reuse-distance buckets in an
+// LDV. Distances of 2^18 lines (16 MiB of data) and beyond — including
+// cold misses — land in the last bucket.
+const NumDistBins = 20
+
+// DistBin maps a reuse distance to its LDV bucket.
+func DistBin(dist int) int {
+	if dist == mem.ColdDistance {
+		return NumDistBins - 1
+	}
+	if dist <= 0 {
+		return 0
+	}
+	b := bits.Len(uint(dist)) // 1 + floor(log2)
+	if b >= NumDistBins {
+		return NumDistBins - 1
+	}
+	return b
+}
+
+// Signature is one barrier point's abstract characterisation.
+type Signature struct {
+	// Index is the barrier point's position in the execution (its region
+	// execution index).
+	Index int
+	// BBV has one dimension per (thread, static block): the number of
+	// instructions the thread spent in that block (trip count weighted by
+	// block size, as SimPoint weighs BBV entries).
+	BBV []float64
+	// LDV has one dimension per (thread, distance bucket): how many data
+	// references fell into the bucket.
+	LDV []float64
+	// Instructions is the barrier point's total instruction weight.
+	Instructions float64
+}
+
+// Profile is the result of one instrumented discovery run.
+type Profile struct {
+	Program *trace.Program
+	Threads int
+	Points  []Signature
+}
+
+// Options tunes signature collection.
+type Options struct {
+	// SkipLDV disables reuse-distance collection (the expensive part);
+	// the emitted signatures have nil LDVs. Discovery re-runs use this:
+	// schedule jitter perturbs BBVs, while LDVs are reused from the
+	// canonical run.
+	SkipLDV bool
+}
+
+// Stream executes the program under instrumentation and invokes fn once
+// per barrier point with its signature. The signature's slices are only
+// valid during the callback; Stream reuses them for the next barrier
+// point. This keeps discovery over programs with ~10k regions at a few
+// megabytes instead of hundreds.
+func Stream(p *trace.Program, cfg omp.Config, opts Options, fn func(Signature)) error {
+	nBlocks := len(p.Blocks)
+	if nBlocks == 0 {
+		return fmt.Errorf("pin: program %q has no static blocks", p.Name)
+	}
+	threads := cfg.Threads
+
+	// Per-thread collectors, reset at every region boundary.
+	bbv := make([]float64, threads*nBlocks)
+	ldv := make([]float64, threads*NumDistBins)
+	dists := make([]*mem.StackDist, threads)
+	for t := range dists {
+		dists[t] = mem.NewStackDist()
+	}
+	var instr float64
+
+	// BBV entries are weighted by the block's scalar instruction count on
+	// the discovery ISA, matching SimPoint's instruction-weighted BBVs.
+	blockWeight := make([]float64, nBlocks)
+	for i, b := range p.Blocks {
+		blockWeight[i] = cfg.Variant.ISA.Instructions(b.Mix)
+	}
+
+	prev := cfg.Hooks
+	cfg.Hooks = omp.Hooks{
+		RegionStart: func(r *trace.Region) {
+			for i := range bbv {
+				bbv[i] = 0
+			}
+			for i := range ldv {
+				ldv[i] = 0
+			}
+			for _, d := range dists {
+				d.Reset()
+			}
+			instr = 0
+			if prev.RegionStart != nil {
+				prev.RegionStart(r)
+			}
+		},
+		BlockExec: func(t int, b *trace.Block, n int64) {
+			w := float64(n) * blockWeight[b.ID]
+			bbv[t*nBlocks+b.ID] += w
+			instr += w
+			if prev.BlockExec != nil {
+				prev.BlockExec(t, b, n)
+			}
+		},
+		RegionEnd: func(r *trace.Region) {
+			sig := Signature{Index: r.Index, BBV: bbv, Instructions: instr}
+			if !opts.SkipLDV {
+				sig.LDV = ldv
+			}
+			fn(sig)
+			if prev.RegionEnd != nil {
+				prev.RegionEnd(r)
+			}
+		},
+	}
+	if !opts.SkipLDV {
+		cfg.Hooks.Touch = func(t int, touch trace.Touch) {
+			d := dists[t].Access(touch.Line)
+			ldv[t*NumDistBins+DistBin(d)]++
+			if prev.Touch != nil {
+				prev.Touch(t, touch)
+			}
+		}
+	} else if prev.Touch != nil {
+		cfg.Hooks.Touch = prev.Touch
+	}
+	_, err := omp.Run(p, cfg)
+	return err
+}
+
+// Collect executes the program under instrumentation and returns all
+// per-barrier-point signatures (with owned copies of the vectors). The run
+// configuration is the discovery configuration: the paper always discovers
+// on the x86_64 machine.
+func Collect(p *trace.Program, cfg omp.Config) (*Profile, error) {
+	prof := &Profile{Program: p, Threads: cfg.Threads}
+	err := Stream(p, cfg, Options{}, func(s Signature) {
+		prof.Points = append(prof.Points, Signature{
+			Index:        s.Index,
+			BBV:          append([]float64(nil), s.BBV...),
+			LDV:          append([]float64(nil), s.LDV...),
+			Instructions: s.Instructions,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return prof, nil
+}
+
+// TotalInstructions returns the instruction weight summed over all barrier
+// points.
+func (p *Profile) TotalInstructions() float64 {
+	var t float64
+	for _, s := range p.Points {
+		t += s.Instructions
+	}
+	return t
+}

@@ -1,0 +1,268 @@
+package pin
+
+import (
+	"testing"
+
+	"barrierpoint/internal/isa"
+	"barrierpoint/internal/machine"
+	"barrierpoint/internal/mem"
+	"barrierpoint/internal/omp"
+	"barrierpoint/internal/trace"
+)
+
+func pinProgram() *trace.Program {
+	p := trace.NewProgram("pin-test")
+	d := p.AddData("data", 2048)
+	var mix isa.OpMix
+	mix[isa.IntOp] = 2
+	mix[isa.FPAdd] = 1
+	mix[isa.Load] = 1
+	mix[isa.Branch] = 1
+	a := p.AddBlock(trace.Block{Name: "a", Mix: mix, LinesPerIter: 0.5,
+		Pattern: trace.Sequential, Data: d})
+	b := p.AddBlock(trace.Block{Name: "b", Mix: mix, LinesPerIter: 1,
+		Pattern: trace.Random, Data: d})
+	p.AddRegion("r0", trace.BlockExec{Block: a, Trips: 1000})
+	p.AddRegion("r1", trace.BlockExec{Block: b, Trips: 500})
+	p.AddRegion("r2", trace.BlockExec{Block: a, Trips: 1000})
+	p.Finalise()
+	return p
+}
+
+func discoveryConfig(threads int) omp.Config {
+	return omp.Config{
+		Machine: machine.IntelI7(),
+		Variant: isa.Variant{ISA: isa.X8664()},
+		Threads: threads,
+	}
+}
+
+func TestDistBin(t *testing.T) {
+	cases := map[int]int{
+		mem.ColdDistance: NumDistBins - 1,
+		0:                0,
+		1:                1,
+		2:                2,
+		3:                2,
+		4:                3,
+		1023:             10,
+		1024:             11,
+		1 << 30:          NumDistBins - 1,
+	}
+	for dist, want := range cases {
+		if got := DistBin(dist); got != want {
+			t.Errorf("DistBin(%d) = %d, want %d", dist, got, want)
+		}
+	}
+}
+
+func TestDistBinMonotone(t *testing.T) {
+	prev := 0
+	for d := 0; d < 1<<21; d = d*2 + 1 {
+		b := DistBin(d)
+		if b < prev {
+			t.Fatalf("DistBin not monotone at %d: %d < %d", d, b, prev)
+		}
+		if b >= NumDistBins {
+			t.Fatalf("DistBin(%d) = %d out of range", d, b)
+		}
+		prev = b
+	}
+}
+
+func TestCollectShapes(t *testing.T) {
+	p := pinProgram()
+	prof, err := Collect(p, discoveryConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Points) != 3 {
+		t.Fatalf("points = %d", len(prof.Points))
+	}
+	for _, s := range prof.Points {
+		if len(s.BBV) != 2*len(p.Blocks) {
+			t.Errorf("BP %d: BBV dim %d", s.Index, len(s.BBV))
+		}
+		if len(s.LDV) != 2*NumDistBins {
+			t.Errorf("BP %d: LDV dim %d", s.Index, len(s.LDV))
+		}
+		if s.Instructions <= 0 {
+			t.Errorf("BP %d: no instruction weight", s.Index)
+		}
+	}
+}
+
+func TestBBVReflectsBlocksExecuted(t *testing.T) {
+	p := pinProgram()
+	prof, err := Collect(p, discoveryConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Region 0 runs only block a (ID 0); region 1 only block b (ID 1).
+	if prof.Points[0].BBV[0] == 0 || prof.Points[0].BBV[1] != 0 {
+		t.Errorf("BP0 BBV = %v, want only block a", prof.Points[0].BBV)
+	}
+	if prof.Points[1].BBV[0] != 0 || prof.Points[1].BBV[1] == 0 {
+		t.Errorf("BP1 BBV = %v, want only block b", prof.Points[1].BBV)
+	}
+}
+
+func TestIdenticalRegionsIdenticalSignatures(t *testing.T) {
+	p := pinProgram()
+	prof, err := Collect(p, discoveryConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, r2 := prof.Points[0], prof.Points[2]
+	for i := range r0.BBV {
+		if r0.BBV[i] != r2.BBV[i] {
+			t.Fatal("identical regions must produce identical BBVs")
+		}
+	}
+	// LDVs may differ slightly because caches warm up, but the stack
+	// distance computation is reset per region, so they are identical too.
+	for i := range r0.LDV {
+		if r0.LDV[i] != r2.LDV[i] {
+			t.Fatal("identical regions must produce identical LDVs")
+		}
+	}
+}
+
+func TestDifferentRegionsDifferentSignatures(t *testing.T) {
+	p := pinProgram()
+	prof, err := Collect(p, discoveryConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range prof.Points[0].BBV {
+		if prof.Points[0].BBV[i] != prof.Points[1].BBV[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different regions should have different BBVs")
+	}
+}
+
+func TestLDVCountsMatchTouches(t *testing.T) {
+	p := pinProgram()
+	prof, err := Collect(p, discoveryConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Region 0: block a, 1000 trips x 0.5 lines/iter = 500 touches.
+	var total float64
+	for _, v := range prof.Points[0].LDV {
+		total += v
+	}
+	if total != 500 {
+		t.Errorf("LDV total %f, want 500 touches", total)
+	}
+}
+
+func TestPerThreadConcatenation(t *testing.T) {
+	p := pinProgram()
+	prof, err := Collect(p, discoveryConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 2 threads the work splits: both thread slices must be populated.
+	s := prof.Points[0]
+	nb := len(p.Blocks)
+	if s.BBV[0*nb+0] == 0 || s.BBV[1*nb+0] == 0 {
+		t.Errorf("both threads should execute block a: %v", s.BBV)
+	}
+}
+
+func TestTotalInstructions(t *testing.T) {
+	p := pinProgram()
+	prof, err := Collect(p, discoveryConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var manual float64
+	for _, s := range prof.Points {
+		manual += s.Instructions
+	}
+	if prof.TotalInstructions() != manual {
+		t.Error("TotalInstructions mismatch")
+	}
+	if manual <= 0 {
+		t.Error("profile should have instruction weight")
+	}
+}
+
+func TestCollectRejectsEmptyProgram(t *testing.T) {
+	p := trace.NewProgram("empty")
+	p.Finalise()
+	if _, err := Collect(p, discoveryConfig(1)); err == nil {
+		t.Error("expected error for program without blocks")
+	}
+}
+
+func TestCollectChainsExistingHooks(t *testing.T) {
+	p := pinProgram()
+	cfg := discoveryConfig(1)
+	var starts int
+	cfg.Hooks.RegionStart = func(r *trace.Region) { starts++ }
+	if _, err := Collect(p, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if starts != 3 {
+		t.Errorf("pre-existing hook fired %d times, want 3", starts)
+	}
+}
+
+func TestStreamSkipLDV(t *testing.T) {
+	p := pinProgram()
+	cfg := discoveryConfig(2)
+	var sigs int
+	err := Stream(p, cfg, Options{SkipLDV: true}, func(s Signature) {
+		sigs++
+		if s.LDV != nil {
+			t.Fatal("SkipLDV signatures must carry no LDV")
+		}
+		if len(s.BBV) == 0 || s.Instructions <= 0 {
+			t.Fatal("BBV and weights must still be collected")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sigs != 3 {
+		t.Fatalf("streamed %d signatures, want 3", sigs)
+	}
+}
+
+func TestStreamReusesBuffers(t *testing.T) {
+	// Stream documents that slices are only valid during the callback:
+	// the same backing arrays must be reused across barrier points.
+	p := pinProgram()
+	var first []float64
+	calls := 0
+	err := Stream(p, discoveryConfig(1), Options{}, func(s Signature) {
+		if calls == 0 {
+			first = s.BBV
+		} else if &first[0] != &s.BBV[0] {
+			t.Fatal("Stream should reuse the BBV buffer")
+		}
+		calls++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamChainsTouchHookWhenSkippingLDV(t *testing.T) {
+	p := pinProgram()
+	cfg := discoveryConfig(1)
+	touches := 0
+	cfg.Hooks.Touch = func(int, trace.Touch) { touches++ }
+	if err := Stream(p, cfg, Options{SkipLDV: true}, func(Signature) {}); err != nil {
+		t.Fatal(err)
+	}
+	if touches == 0 {
+		t.Error("pre-existing touch hooks must survive SkipLDV")
+	}
+}

@@ -1,0 +1,135 @@
+// Package report renders the evaluation's tables and figure series as
+// aligned plain text (and CSV for the figure data), mirroring the layout of
+// the paper's tables.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes are printed under the table, one per line.
+	Notes []string
+}
+
+// AddRow appends a row; cells beyond the header width are rejected.
+func (t *Table) AddRow(cells ...string) {
+	if len(t.Header) > 0 && len(cells) > len(t.Header) {
+		panic(fmt.Sprintf("report: row with %d cells exceeds %d columns", len(cells), len(t.Header)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	totalWidth := 0
+	for _, wd := range widths {
+		totalWidth += wd + 2
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+		fmt.Fprintln(w, strings.Repeat("=", min(totalWidth, 100)))
+	}
+	writeRow := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			b.WriteString(pad(c, widths[i]))
+			if i != len(cells)-1 {
+				b.WriteString("  ")
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		fmt.Fprintln(w, strings.Repeat("-", min(totalWidth, 100)))
+	}
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// Series is one named sequence of (label, value) points for figure data.
+type Series struct {
+	Name   string
+	Labels []string
+	Values []float64
+}
+
+// Figure is a set of series sharing labels, rendered as CSV-like text so
+// the paper's plots can be regenerated with any plotting tool.
+type Figure struct {
+	Title  string
+	Series []Series
+	Notes  []string
+}
+
+// Render writes the figure as a label-indexed text matrix.
+func (f *Figure) Render(w io.Writer) {
+	if f.Title != "" {
+		fmt.Fprintln(w, f.Title)
+		fmt.Fprintln(w, strings.Repeat("=", min(len(f.Title), 100)))
+	}
+	if len(f.Series) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	header := append([]string{"label"}, make([]string, 0, len(f.Series))...)
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	fmt.Fprintln(w, strings.Join(header, ","))
+	labels := f.Series[0].Labels
+	for i, lab := range labels {
+		row := []string{lab}
+		for _, s := range f.Series {
+			if i < len(s.Values) {
+				row = append(row, fmt.Sprintf("%.4g", s.Values[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Pct formats a percentage with two decimals.
+func Pct(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// F1 formats a float with one decimal.
+func F1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,106 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:  "T",
+		Header: []string{"A", "Blong"},
+		Notes:  []string{"note one"},
+	}
+	tbl.AddRow("x", "y")
+	tbl.AddRow("wide-cell", "z")
+	var b strings.Builder
+	tbl.Render(&b)
+	out := b.String()
+	for _, want := range []string{"T", "A", "Blong", "wide-cell", "note one"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns must be aligned: "y" and "z" start at the same offset.
+	lines := strings.Split(out, "\n")
+	var xLine, wLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "x") {
+			xLine = l
+		}
+		if strings.HasPrefix(l, "wide-cell") {
+			wLine = l
+		}
+	}
+	if strings.Index(xLine, "y") != strings.Index(wLine, "z") {
+		t.Errorf("columns misaligned:\n%q\n%q", xLine, wLine)
+	}
+}
+
+func TestTableAddRowPanicsOnTooManyCells(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tbl := Table{Header: []string{"A"}}
+	tbl.AddRow("1", "2")
+}
+
+func TestTableShortRowsAllowed(t *testing.T) {
+	tbl := Table{Header: []string{"A", "B", "C"}}
+	tbl.AddRow("only-one")
+	var b strings.Builder
+	tbl.Render(&b)
+	if !strings.Contains(b.String(), "only-one") {
+		t.Error("short row lost")
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{
+		Title: "F",
+		Series: []Series{
+			{Name: "s1", Labels: []string{"a", "b"}, Values: []float64{1, 2}},
+			{Name: "s2", Labels: []string{"a", "b"}, Values: []float64{3.5, 4.25}},
+		},
+		Notes: []string{"hello"},
+	}
+	var b strings.Builder
+	f.Render(&b)
+	out := b.String()
+	for _, want := range []string{"label,s1,s2", "a,1,3.5", "b,2,4.25", "# hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureEmpty(t *testing.T) {
+	var b strings.Builder
+	(&Figure{Title: "E"}).Render(&b)
+	if !strings.Contains(b.String(), "(no data)") {
+		t.Error("empty figure should say so")
+	}
+}
+
+func TestFigureRaggedSeries(t *testing.T) {
+	f := Figure{Series: []Series{
+		{Name: "s1", Labels: []string{"a", "b"}, Values: []float64{1, 2}},
+		{Name: "s2", Labels: []string{"a", "b"}, Values: []float64{3}},
+	}}
+	var b strings.Builder
+	f.Render(&b)
+	if !strings.Contains(b.String(), "b,2,") {
+		t.Errorf("ragged series should leave a blank cell:\n%s", b.String())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(1.234) != "1.23" {
+		t.Errorf("Pct = %s", Pct(1.234))
+	}
+	if F1(2.56) != "2.6" {
+		t.Errorf("F1 = %s", F1(2.56))
+	}
+}

@@ -1,0 +1,159 @@
+package sigvec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProjectDeterministic(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	a := Project(v, 8, 42)
+	b := Project(v, 8, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("projection must be deterministic")
+		}
+	}
+	c := Project(v, 8, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different projections")
+	}
+}
+
+func TestProjectLinearity(t *testing.T) {
+	if err := quick.Check(func(x, y int8) bool {
+		a, b := float64(x), float64(y)
+		v := []float64{a, b, a + b}
+		w := []float64{2 * a, 2 * b, 2 * (a + b)}
+		pv := Project(v, 6, 7)
+		pw := Project(w, 6, 7)
+		for i := range pv {
+			if math.Abs(pw[i]-2*pv[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectPreservesDistanceApproximately(t *testing.T) {
+	// Two far-apart sparse vectors should remain far apart after
+	// projection, and a vector should stay close to itself.
+	n := 500
+	u := make([]float64, n)
+	v := make([]float64, n)
+	u[3] = 1
+	v[400] = 1
+	const dim = 15
+	pu := Project(u, dim, 9)
+	pv := Project(v, dim, 9)
+	if Distance(pu, pv) < 0.3 {
+		t.Errorf("distinct unit vectors projected too close: %f", Distance(pu, pv))
+	}
+	if Distance(pu, pu) != 0 {
+		t.Error("self distance must be zero")
+	}
+}
+
+func TestProjectPanicsOnBadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Project([]float64{1}, 0, 1)
+}
+
+func TestBuildDimensions(t *testing.T) {
+	bbv := []float64{1, 2, 3}
+	ldv := []float64{4, 5}
+	opts := DefaultOptions(1)
+	sv := Build(bbv, ldv, opts)
+	if len(sv) != 2*DefaultDim {
+		t.Errorf("combined SV dim = %d, want %d", len(sv), 2*DefaultDim)
+	}
+	opts.UseLDV = false
+	if got := len(Build(bbv, ldv, opts)); got != DefaultDim {
+		t.Errorf("BBV-only SV dim = %d", got)
+	}
+	opts = DefaultOptions(1)
+	opts.UseBBV = false
+	if got := len(Build(bbv, ldv, opts)); got != DefaultDim {
+		t.Errorf("LDV-only SV dim = %d", got)
+	}
+}
+
+func TestBuildPanicsWithoutComponents(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build([]float64{1}, []float64{1}, Options{Dim: 4})
+}
+
+func TestBuildScaleInvariance(t *testing.T) {
+	// L1 normalisation makes signatures invariant to uniform scaling of
+	// the raw vectors (a region twice as long with the same shape has the
+	// same signature).
+	bbv := []float64{1, 2, 3, 0}
+	ldv := []float64{5, 0, 1}
+	opts := DefaultOptions(3)
+	a := Build(bbv, ldv, opts)
+	bbv2 := []float64{2, 4, 6, 0}
+	ldv2 := []float64{10, 0, 2}
+	b := Build(bbv2, ldv2, opts)
+	if Distance(a, b) > 1e-9 {
+		t.Errorf("scaled vectors should have identical signatures, distance %f", Distance(a, b))
+	}
+}
+
+func TestBuildZeroVectors(t *testing.T) {
+	sv := Build([]float64{0, 0}, []float64{0}, DefaultOptions(4))
+	for _, x := range sv {
+		if x != 0 {
+			t.Error("all-zero inputs should give a zero signature")
+		}
+	}
+}
+
+func TestBuildDefaultDimFallback(t *testing.T) {
+	sv := Build([]float64{1}, []float64{1}, Options{UseBBV: true, UseLDV: true})
+	if len(sv) != 2*DefaultDim {
+		t.Errorf("zero Dim should default to %d, got %d", DefaultDim, len(sv)/2)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	if d := Distance([]float64{0, 0}, []float64{3, 4}); d != 5 {
+		t.Errorf("Distance = %f", d)
+	}
+}
+
+func TestDistancePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Distance([]float64{1}, []float64{1, 2})
+}
+
+func TestDistanceSymmetryProperty(t *testing.T) {
+	if err := quick.Check(func(a, b, c, d int8) bool {
+		u := []float64{float64(a), float64(b)}
+		v := []float64{float64(c), float64(d)}
+		return Distance(u, v) == Distance(v, u)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,352 @@
+// Package simpoint reimplements the clustering side of the SimPoint 3.2
+// tool that BarrierPoint drives: k-means over signature vectors with
+// k-means++ seeding, multiple random restarts, and BIC-based selection of
+// the number of clusters. Each cluster contributes one representative (the
+// member closest to the centroid) and a multiplier derived from the
+// cluster's weight, which the methodology later uses to scale counters
+// back up to full-program estimates.
+package simpoint
+
+import (
+	"fmt"
+	"math"
+
+	"barrierpoint/internal/xrand"
+)
+
+// Point is one barrier point in signature space.
+type Point struct {
+	Vec []float64
+	// Weight is the point's share of the execution (instruction count).
+	Weight float64
+}
+
+// Config controls the clustering.
+type Config struct {
+	// MaxK caps the number of clusters searched (the paper's selections
+	// range up to 20, so SimPoint's default maxK=30 is plenty; we default
+	// to 20 to match the observed selections).
+	MaxK int
+	// BICThreshold picks the smallest k whose BIC reaches this fraction
+	// of the best BIC (SimPoint's default policy, 0.9).
+	BICThreshold float64
+	// Restarts is the number of random k-means initialisations per k.
+	Restarts int
+	// MaxIterations caps Lloyd iterations per run.
+	MaxIterations int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultConfig mirrors the parameters the paper reports using.
+func DefaultConfig(seed uint64) Config {
+	return Config{MaxK: 20, BICThreshold: 0.9, Restarts: 5, MaxIterations: 100, Seed: seed}
+}
+
+// Result is the outcome of clustering.
+type Result struct {
+	K int
+	// Assign maps each point to its cluster.
+	Assign []int
+	// Representatives holds, per cluster, the index of the member point
+	// nearest the centroid — the selected barrier points.
+	Representatives []int
+	// Multipliers holds, per cluster, the factor that scales the
+	// representative's counters to stand in for the whole cluster:
+	// (cluster total weight) / (representative weight).
+	Multipliers []float64
+	// ClusterWeights holds each cluster's fraction of the total weight.
+	ClusterWeights []float64
+	// BIC is the score of the chosen k.
+	BIC float64
+}
+
+func sqDist(a, b []float64) float64 {
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return ss
+}
+
+// kmeansOnce runs one seeded k-means++ / Lloyd pass and returns the
+// assignment and its distortion (sum of squared distances).
+func kmeansOnce(points []Point, k int, rng *xrand.Rand, maxIter int) ([]int, [][]float64, float64) {
+	n := len(points)
+	dim := len(points[0].Vec)
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, append([]float64(nil), points[first].Vec...))
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = sqDist(points[i].Vec, centroids[0])
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range minDist {
+			total += d
+		}
+		var next int
+		if total <= 0 {
+			next = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			next = n - 1
+			for i, d := range minDist {
+				acc += d
+				if acc >= r {
+					next = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), points[next].Vec...)
+		centroids = append(centroids, c)
+		for i := range minDist {
+			if d := sqDist(points[i].Vec, c); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	counts := make([]int, k)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := sqDist(points[i].Vec, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				changed = changed || assign[i] != best
+				assign[i] = best
+			}
+		}
+		if iter > 0 && !changed {
+			break
+		}
+		for c := range centroids {
+			for j := range centroids[c] {
+				centroids[c][j] = 0
+			}
+			counts[c] = 0
+		}
+		for i, a := range assign {
+			counts[a]++
+			for j, v := range points[i].Vec {
+				centroids[a][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster on the farthest point.
+				far, farD := 0, -1.0
+				for i := range points {
+					if d := sqDist(points[i].Vec, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[c], points[far].Vec)
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for j := range centroids[c] {
+				centroids[c][j] *= inv
+			}
+		}
+	}
+	var distortion float64
+	for i, a := range assign {
+		distortion += sqDist(points[i].Vec, centroids[a])
+	}
+	_ = dim
+	return assign, centroids, distortion
+}
+
+// bic scores a clustering with the X-means spherical-Gaussian BIC
+// (Pelleg & Moore), as SimPoint does: higher is better.
+func bic(points []Point, assign []int, centroids [][]float64) float64 {
+	n := len(points)
+	k := len(centroids)
+	dim := len(points[0].Vec)
+	if n <= k {
+		return math.Inf(-1)
+	}
+	var distortion float64
+	counts := make([]int, k)
+	for i, a := range assign {
+		counts[a]++
+		distortion += sqDist(points[i].Vec, centroids[a])
+	}
+	variance := distortion / float64(dim*(n-k))
+	if variance <= 0 {
+		variance = 1e-12
+	}
+	var loglik float64
+	for c := 0; c < k; c++ {
+		nc := float64(counts[c])
+		if nc == 0 {
+			continue
+		}
+		loglik += nc*math.Log(nc/float64(n)) -
+			nc*float64(dim)/2*math.Log(2*math.Pi*variance) -
+			(nc-1)*float64(dim)/2
+	}
+	params := float64(k-1) + float64(k*dim) + 1
+	return loglik - params/2*math.Log(float64(n))
+}
+
+// Cluster runs the SimPoint-style model selection: for each k in
+// [1, MaxK], the best of Restarts k-means runs is scored with BIC, and the
+// smallest k reaching BICThreshold x best BIC wins.
+func Cluster(points []Point, cfg Config) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("simpoint: no points to cluster")
+	}
+	for i, p := range points {
+		if len(p.Vec) == 0 {
+			return nil, fmt.Errorf("simpoint: point %d has empty vector", i)
+		}
+		if len(p.Vec) != len(points[0].Vec) {
+			return nil, fmt.Errorf("simpoint: point %d dimension %d != %d", i, len(p.Vec), len(points[0].Vec))
+		}
+		if p.Weight < 0 {
+			return nil, fmt.Errorf("simpoint: point %d has negative weight", i)
+		}
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 20
+	}
+	if cfg.BICThreshold <= 0 || cfg.BICThreshold > 1 {
+		cfg.BICThreshold = 0.9
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 5
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 100
+	}
+	maxK := cfg.MaxK
+	if maxK > n {
+		maxK = n
+	}
+	rng := xrand.Derive(cfg.Seed, "simpoint-kmeans")
+
+	type candidate struct {
+		k         int
+		assign    []int
+		centroids [][]float64
+		bic       float64
+	}
+	candidates := make([]candidate, 0, maxK)
+	for k := 1; k <= maxK; k++ {
+		var best *candidate
+		for r := 0; r < cfg.Restarts; r++ {
+			assign, centroids, distortion := kmeansOnce(points, k, rng, cfg.MaxIterations)
+			_ = distortion
+			score := bic(points, assign, centroids)
+			if best == nil || score > best.bic {
+				best = &candidate{k: k, assign: assign, centroids: centroids, bic: score}
+			}
+		}
+		candidates = append(candidates, *best)
+	}
+
+	bestBIC := math.Inf(-1)
+	for _, c := range candidates {
+		if c.bic > bestBIC {
+			bestBIC = c.bic
+		}
+	}
+	chosen := candidates[len(candidates)-1]
+	for _, c := range candidates {
+		// BIC can be negative; use the SimPoint rule on the score range.
+		if scoreReaches(c.bic, bestBIC, cfg.BICThreshold, candidates[0].bic) {
+			chosen = c
+			break
+		}
+	}
+	return buildResult(points, chosen.k, chosen.assign, chosen.centroids, chosen.bic), nil
+}
+
+// scoreReaches implements SimPoint's "within threshold of the best BIC"
+// rule, mapping scores to [0,1] over the observed range so the rule works
+// for negative BIC values too.
+func scoreReaches(score, best, threshold, worst float64) bool {
+	if best == worst {
+		return true
+	}
+	norm := (score - worst) / (best - worst)
+	return norm >= threshold
+}
+
+func buildResult(points []Point, k int, assign []int, centroids [][]float64, score float64) *Result {
+	res := &Result{K: k, Assign: assign, BIC: score}
+	res.Representatives = make([]int, k)
+	res.Multipliers = make([]float64, k)
+	res.ClusterWeights = make([]float64, k)
+
+	bestD := make([]float64, k)
+	clusterWeight := make([]float64, k)
+	var totalWeight float64
+	for c := range bestD {
+		bestD[c] = math.Inf(1)
+		res.Representatives[c] = -1
+	}
+	for i, a := range assign {
+		clusterWeight[a] += points[i].Weight
+		totalWeight += points[i].Weight
+		if d := sqDist(points[i].Vec, centroids[a]); d < bestD[a] {
+			bestD[a] = d
+		}
+	}
+	// Representative: among the members (essentially) nearest the
+	// centroid, take the median occurrence. Perfectly periodic workloads
+	// produce exact signature ties across iterations; always taking the
+	// first occurrence would systematically select the earliest (often
+	// atypical) iteration of each code region.
+	const tie = 1e-12
+	candidates := make([][]int, k)
+	for i, a := range assign {
+		if sqDist(points[i].Vec, centroids[a]) <= bestD[a]+tie {
+			candidates[a] = append(candidates[a], i)
+		}
+	}
+	for c := range candidates {
+		if n := len(candidates[c]); n > 0 {
+			res.Representatives[c] = candidates[c][n/2]
+		}
+	}
+	for c := 0; c < k; c++ {
+		rep := res.Representatives[c]
+		if rep < 0 {
+			// Empty cluster: no representative, zero multiplier.
+			res.Multipliers[c] = 0
+			continue
+		}
+		if w := points[rep].Weight; w > 0 {
+			res.Multipliers[c] = clusterWeight[c] / w
+		} else {
+			// Weightless representative: fall back to member count.
+			var members float64
+			for _, a := range assign {
+				if a == c {
+					members++
+				}
+			}
+			res.Multipliers[c] = members
+		}
+		if totalWeight > 0 {
+			res.ClusterWeights[c] = clusterWeight[c] / totalWeight
+		}
+	}
+	return res
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almost(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %f, want %f", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almost(got, 2.138089935, 1e-6) {
+		t.Errorf("StdDev = %f", got)
+	}
+	if StdDev(nil) != 0 || StdDev([]float64{3}) != 0 {
+		t.Error("StdDev of <2 samples should be 0")
+	}
+}
+
+func TestCV(t *testing.T) {
+	xs := []float64{100, 102, 98, 101, 99}
+	cv := CV(xs)
+	if cv <= 0 || cv > 0.02 {
+		t.Errorf("CV = %f, want small positive", cv)
+	}
+	if CV([]float64{0, 0}) != 0 {
+		t.Error("CV with zero mean should be 0")
+	}
+}
+
+func TestAbsPctError(t *testing.T) {
+	cases := []struct {
+		est, act, want float64
+	}{
+		{100, 100, 0},
+		{102, 100, 2},
+		{98, 100, 2},
+		{-98, -100, 2},
+		{0, 0, 0},
+		{5, 0, 100},
+	}
+	for _, c := range cases {
+		if got := AbsPctError(c.est, c.act); !almost(got, c.want, 1e-9) {
+			t.Errorf("AbsPctError(%f,%f) = %f, want %f", c.est, c.act, got, c.want)
+		}
+	}
+}
+
+func TestAbsPctErrorSymmetryProperty(t *testing.T) {
+	// Error is invariant under simultaneous sign flip of both arguments.
+	if err := quick.Check(func(e, a float64) bool {
+		if math.IsNaN(e) || math.IsNaN(a) || math.IsInf(e, 0) || math.IsInf(a, 0) {
+			return true
+		}
+		return AbsPctError(e, a) == AbsPctError(-e, -a)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max wrong: %f %f", Min(xs), Max(xs))
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestMaxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Max(nil)
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Errorf("odd median = %f", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %f", got)
+	}
+	if Median(nil) != 0 {
+		t.Error("empty median should be 0")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated input: %v", xs)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		xs := make([]float64, 50)
+		s := uint64(seed)
+		for i := range xs {
+			s = s*6364136223846793005 + 1442695040888963407
+			xs[i] = float64(s%1000) / 7
+		}
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		return almost(w.Mean(), Mean(xs), 1e-9) &&
+			almost(w.StdDev(), StdDev(xs), 1e-9) &&
+			w.N() == len(xs)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.StdDev() != 0 || w.CV() != 0 || w.N() != 0 {
+		t.Error("zero-value Welford should report zeros")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.Mean != 2 || s.N != 3 || !almost(s.StdDev, 1, 1e-12) {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}

@@ -1,0 +1,59 @@
+package trace
+
+import "barrierpoint/internal/isa"
+
+// CompiledExec is the result of "compiling" a block's trip count for one
+// binary variant. A vectorisable loop compiled with vectorisation enabled
+// splits into a vector body (one iteration per vector of lanes elements)
+// and a scalar remainder, exactly like a compiler's loop epilogue.
+type CompiledExec struct {
+	ScalarTrips int64
+	VectorTrips int64
+	// ScalarMix and VectorMix are machine-instruction mixes per iteration
+	// of the respective bodies (already ISA-expanded).
+	ScalarMix isa.OpMix
+	VectorMix isa.OpMix
+}
+
+// Instructions returns the total dynamic machine instruction count.
+func (c CompiledExec) Instructions() float64 {
+	return float64(c.ScalarTrips)*c.ScalarMix.Total() +
+		float64(c.VectorTrips)*c.VectorMix.Total()
+}
+
+// InstrMix returns the total machine instruction mix over all iterations.
+func (c CompiledExec) InstrMix() isa.OpMix {
+	return c.ScalarMix.Scale(float64(c.ScalarTrips)).
+		Add(c.VectorMix.Scale(float64(c.VectorTrips)))
+}
+
+// vectorBodyMix converts the abstract scalar iteration mix of a
+// vectorisable loop into the abstract mix of one vector iteration
+// processing `lanes` elements: floating-point work and data movement
+// collapse into single vector operations, while loop bookkeeping (integer
+// ops, branch) is paid once per vector iteration instead of once per
+// element.
+func vectorBodyMix(m isa.OpMix) isa.OpMix {
+	var v isa.OpMix
+	v[isa.IntOp] = m[isa.IntOp]
+	v[isa.Branch] = m[isa.Branch]
+	v[isa.VecOp] = m[isa.FPAdd] + m[isa.FPMul] + m[isa.FPDiv]
+	v[isa.VecLoad] = m[isa.Load]
+	v[isa.VecStore] = m[isa.Store]
+	return v
+}
+
+// Compile lowers trips executions of block b to machine iterations for the
+// given variant.
+func Compile(b *Block, trips int64, v isa.Variant) CompiledExec {
+	out := CompiledExec{ScalarMix: v.ISA.InstrMix(b.Mix)}
+	if !b.Vectorisable || !v.Vectorised || trips == 0 {
+		out.ScalarTrips = trips
+		return out
+	}
+	lanes := int64(v.ISA.VectorLanes64())
+	out.VectorTrips = trips / lanes
+	out.ScalarTrips = trips % lanes
+	out.VectorMix = v.ISA.InstrMix(vectorBodyMix(b.Mix))
+	return out
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"barrierpoint/internal/isa"
+)
+
+func TestComputeStats(t *testing.T) {
+	p, _, _ := testProgram(t)
+	s := ComputeStats(p, isa.Variant{ISA: isa.X8664()})
+	if s.Blocks != 2 || s.DataRegions != 1 || s.Regions != 2 {
+		t.Errorf("structure wrong: %+v", s)
+	}
+	if s.Instructions <= 0 || s.Touches <= 0 {
+		t.Error("dynamic estimates must be positive")
+	}
+	if len(s.RegionInstr) != 2 {
+		t.Fatalf("region instr entries: %d", len(s.RegionInstr))
+	}
+	if s.RegionInstr[0]+s.RegionInstr[1] != s.Instructions {
+		t.Error("region instructions must sum to the total")
+	}
+	if s.FootprintMiB <= 0 {
+		t.Error("footprint must be positive")
+	}
+}
+
+func TestComputeStatsVectorisedSmaller(t *testing.T) {
+	p, _, _ := testProgram(t)
+	scalar := ComputeStats(p, isa.Variant{ISA: isa.X8664()})
+	vect := ComputeStats(p, isa.Variant{ISA: isa.X8664(), Vectorised: true})
+	if vect.Instructions >= scalar.Instructions {
+		t.Error("vectorised estimate should be smaller")
+	}
+	if vect.Touches != scalar.Touches {
+		t.Error("vectorisation must not change the touch stream")
+	}
+}
+
+func TestDescribeOutput(t *testing.T) {
+	p, _, _ := testProgram(t)
+	var b strings.Builder
+	Describe(&b, p, isa.Variant{ISA: isa.ARMv8()})
+	out := b.String()
+	for _, want := range []string{"test (ARMv8)", "static blocks", "barrier points", "largest region share"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDescribeFlagsSingleRegion(t *testing.T) {
+	p := NewProgram("single")
+	d := p.AddData("d", 1024)
+	var mix isa.OpMix
+	mix[isa.IntOp] = 1
+	b := p.AddBlock(Block{Name: "b", Mix: mix, LinesPerIter: 0.5, Data: d})
+	p.AddRegion("only", BlockExec{Block: b, Trips: 1000000})
+	p.Finalise()
+	var sb strings.Builder
+	Describe(&sb, p, isa.Variant{ISA: isa.X8664()})
+	if !strings.Contains(sb.String(), "single parallel region") {
+		t.Error("single-region note missing")
+	}
+}
+
+func TestDescribeFlagsShortRegions(t *testing.T) {
+	p := NewProgram("short")
+	d := p.AddData("d", 1024)
+	var mix isa.OpMix
+	mix[isa.IntOp] = 1
+	b := p.AddBlock(Block{Name: "b", Mix: mix, LinesPerIter: 0.5, Data: d})
+	for i := 0; i < 50; i++ {
+		p.AddRegion("r", BlockExec{Block: b, Trips: 1000})
+	}
+	p.Finalise()
+	var sb strings.Builder
+	Describe(&sb, p, isa.Variant{ISA: isa.X8664()})
+	if !strings.Contains(sb.String(), "very short regions") {
+		t.Error("short-region note missing")
+	}
+}

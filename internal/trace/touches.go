@@ -1,0 +1,93 @@
+package trace
+
+// Touch is one cache-line data reference.
+type Touch struct {
+	Line uint64
+	// Chase marks serialised (dependent) references; the timing model
+	// charges full load-use latency for them.
+	Chase bool
+	// Store marks the touch as a write. The cache model treats reads and
+	// writes identically for miss counting (write-allocate), but workloads
+	// may care for future extensions.
+	Store bool
+}
+
+// touchHash is a splitmix64-style mixer used to derive deterministic
+// pseudo-random touch addresses from (block, offset, index).
+func touchHash(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// workingSet returns the effective working-set size in lines for the exec.
+func workingSet(w BlockExec) int64 {
+	if w.WSLines > 0 {
+		return w.WSLines
+	}
+	return w.Block.Data.Lines
+}
+
+// TouchCount returns how many line touches executing trips
+// [tripStart, tripStart+trips) of w generates. Touches accumulate
+// fractionally across iterations, so splitting a trip range among threads
+// conserves the total count exactly.
+func TouchCount(w BlockExec, tripStart, trips int64) int64 {
+	before := int64(float64(tripStart) * w.Block.LinesPerIter)
+	after := int64(float64(tripStart+trips) * w.Block.LinesPerIter)
+	return after - before
+}
+
+// EmitTouches generates, in program order, the line addresses produced by
+// executing trips [tripStart, tripStart+trips) of w, calling emit once per
+// touch. Streams are fully deterministic: the same exec and trip range
+// always yield the same touches regardless of which thread runs them.
+func EmitTouches(w BlockExec, tripStart, trips int64, emit func(Touch)) {
+	b := w.Block
+	ws := workingSet(w)
+	if ws <= 0 {
+		return
+	}
+	base := b.Data.Base
+	off := w.Offset
+	first := int64(float64(tripStart) * b.LinesPerIter)
+	last := int64(float64(tripStart+trips) * b.LinesPerIter)
+	stride := b.StrideLines
+	if stride <= 0 {
+		stride = 1
+	}
+	for i := first; i < last; i++ {
+		var t Touch
+		switch b.Pattern {
+		case Sequential:
+			t.Line = base + uint64((off+i)%ws)
+		case Strided:
+			t.Line = base + uint64((off+i*stride)%ws)
+		case Random:
+			h := touchHash(uint64(b.ID)<<40 ^ uint64(off)<<20 ^ uint64(i))
+			t.Line = base + h%uint64(ws)
+		case PointerChase:
+			h := touchHash(uint64(b.ID)<<40 ^ uint64(off)<<20 ^ uint64(i))
+			t.Line = base + h%uint64(ws)
+			t.Chase = true
+		case Gather:
+			if i%2 == 0 {
+				t.Line = base + uint64((off+i/2)%ws)
+			} else {
+				h := touchHash(uint64(b.ID)<<40 ^ uint64(off)<<20 ^ uint64(i))
+				t.Line = base + h%uint64(ws)
+			}
+		case Multi:
+			third := ws / 3
+			if third <= 0 {
+				third = 1
+			}
+			s := i % 3
+			t.Line = base + uint64(s*third+(off+i/3)%third)
+		default:
+			t.Line = base + uint64((off+i)%ws)
+		}
+		emit(t)
+	}
+}

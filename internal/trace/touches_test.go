@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"barrierpoint/internal/isa"
+)
+
+func touchBlock(pattern Pattern, lines int64) BlockExec {
+	p := NewProgram("t")
+	d := p.AddData("d", lines)
+	var mix isa.OpMix
+	mix[isa.Load] = 1
+	b := p.AddBlock(Block{
+		Name: "b", Mix: mix, LinesPerIter: 1,
+		Pattern: pattern, Data: d, StrideLines: 3,
+	})
+	p.Finalise()
+	return BlockExec{Block: b, Trips: 100}
+}
+
+func collect(w BlockExec, start, trips int64) []Touch {
+	var out []Touch
+	EmitTouches(w, start, trips, func(t Touch) { out = append(out, t) })
+	return out
+}
+
+func TestTouchCountMatchesEmit(t *testing.T) {
+	for _, p := range []Pattern{Sequential, Strided, Random, PointerChase, Gather} {
+		w := touchBlock(p, 64)
+		got := int64(len(collect(w, 0, 100)))
+		if got != TouchCount(w, 0, 100) {
+			t.Errorf("%v: emitted %d, TouchCount %d", p, got, TouchCount(w, 0, 100))
+		}
+	}
+}
+
+func TestTouchCountSplitConservation(t *testing.T) {
+	// Splitting a trip range among threads must conserve the total touch
+	// count exactly — this is what makes per-thread measurement sum to the
+	// whole-program measurement.
+	w := touchBlock(Sequential, 64)
+	w.Block.LinesPerIter = 0.37 // awkward fraction on purpose
+	if err := quick.Check(func(aRaw, bRaw uint16) bool {
+		a, b := int64(aRaw%500), int64(bRaw%500)
+		whole := TouchCount(w, 0, a+b)
+		split := TouchCount(w, 0, a) + TouchCount(w, a, b)
+		return whole == split
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmitDeterminism(t *testing.T) {
+	for _, p := range []Pattern{Sequential, Random, Gather} {
+		w := touchBlock(p, 128)
+		a, b := collect(w, 10, 50), collect(w, 10, 50)
+		if len(a) != len(b) {
+			t.Fatalf("%v: lengths differ", p)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: touch %d differs", p, i)
+			}
+		}
+	}
+}
+
+func TestEmitRangeIndependence(t *testing.T) {
+	// Emitting [0,100) must equal emitting [0,40) then [40,60): threads
+	// executing different chunks see exactly the touches of their chunk.
+	w := touchBlock(Random, 128)
+	whole := collect(w, 0, 100)
+	parts := append(collect(w, 0, 40), collect(w, 40, 60)...)
+	if len(whole) != len(parts) {
+		t.Fatalf("lengths differ: %d vs %d", len(whole), len(parts))
+	}
+	for i := range whole {
+		if whole[i] != parts[i] {
+			t.Fatalf("touch %d differs", i)
+		}
+	}
+}
+
+func TestTouchesStayInRegion(t *testing.T) {
+	for _, p := range []Pattern{Sequential, Strided, Random, PointerChase, Gather} {
+		w := touchBlock(p, 64)
+		lo := w.Block.Data.Base
+		hi := lo + uint64(w.Block.Data.Lines)
+		for i, touch := range collect(w, 0, 100) {
+			if touch.Line < lo || touch.Line >= hi {
+				t.Fatalf("%v: touch %d line %d outside [%d,%d)", p, i, touch.Line, lo, hi)
+			}
+		}
+	}
+}
+
+func TestWorkingSetRestriction(t *testing.T) {
+	w := touchBlock(Sequential, 1024)
+	w.WSLines = 16
+	lo := w.Block.Data.Base
+	for _, touch := range collect(w, 0, 100) {
+		if touch.Line >= lo+16 {
+			t.Fatalf("touch %d outside working set of 16 lines", touch.Line-lo)
+		}
+	}
+}
+
+func TestOffsetShiftsWalk(t *testing.T) {
+	w := touchBlock(Sequential, 1024)
+	first := collect(w, 0, 1)[0]
+	w.Offset = 100
+	shifted := collect(w, 0, 1)[0]
+	if shifted.Line != first.Line+100 {
+		t.Errorf("offset walk: %d vs %d", first.Line, shifted.Line)
+	}
+}
+
+func TestPointerChaseSetsChase(t *testing.T) {
+	for _, touch := range collect(touchBlock(PointerChase, 64), 0, 50) {
+		if !touch.Chase {
+			t.Fatal("pointer chase touches must be marked Chase")
+		}
+	}
+	for _, touch := range collect(touchBlock(Sequential, 64), 0, 50) {
+		if touch.Chase {
+			t.Fatal("sequential touches must not be marked Chase")
+		}
+	}
+}
+
+func TestSequentialWalksInOrder(t *testing.T) {
+	w := touchBlock(Sequential, 1024)
+	ts := collect(w, 0, 10)
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Line != ts[i-1].Line+1 {
+			t.Fatalf("sequential touches not consecutive at %d", i)
+		}
+	}
+}
+
+func TestStridedUsesStride(t *testing.T) {
+	w := touchBlock(Strided, 1024)
+	ts := collect(w, 0, 10)
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Line != ts[i-1].Line+3 {
+			t.Fatalf("strided touches not advancing by 3 at %d", i)
+		}
+	}
+}
+
+func TestRandomTouchesSpread(t *testing.T) {
+	w := touchBlock(Random, 256)
+	seen := map[uint64]bool{}
+	for _, touch := range collect(w, 0, 200) {
+		seen[touch.Line] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("random pattern only touched %d distinct lines out of 200 touches", len(seen))
+	}
+}
+
+func TestFractionalLinesPerIter(t *testing.T) {
+	w := touchBlock(Sequential, 64)
+	w.Block.LinesPerIter = 0.125 // one touch every 8 iterations
+	if got := TouchCount(w, 0, 80); got != 10 {
+		t.Errorf("TouchCount = %d, want 10", got)
+	}
+}
+
+func TestZeroTripsEmitNothing(t *testing.T) {
+	w := touchBlock(Sequential, 64)
+	if n := len(collect(w, 5, 0)); n != 0 {
+		t.Errorf("zero trips emitted %d touches", n)
+	}
+}
+
+func TestMultiPatternInterleavesStreams(t *testing.T) {
+	w := touchBlock(Multi, 999)
+	ts := collect(w, 0, 30)
+	// Touches alternate between three disjoint thirds of the region.
+	third := uint64(333)
+	base := w.Block.Data.Base
+	for i, touch := range ts {
+		seg := (touch.Line - base) / third
+		if seg != uint64(i%3) {
+			t.Fatalf("touch %d in segment %d, want %d", i, seg, i%3)
+		}
+	}
+	// Consecutive touches are never unit-stride neighbours, so a
+	// single-stream detector cannot lock on.
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Line == ts[i-1].Line+1 {
+			t.Fatalf("touches %d,%d are unit-stride neighbours", i-1, i)
+		}
+	}
+}
+
+func TestMultiPatternStaysInRegion(t *testing.T) {
+	w := touchBlock(Multi, 64)
+	lo := w.Block.Data.Base
+	hi := lo + uint64(w.Block.Data.Lines)
+	for _, touch := range collect(w, 0, 500) {
+		if touch.Line < lo || touch.Line >= hi {
+			t.Fatalf("line %d outside [%d,%d)", touch.Line, lo, hi)
+		}
+	}
+}
+
+func TestMultiPatternTinyRegion(t *testing.T) {
+	// Regions smaller than three lines must not divide by zero.
+	w := touchBlock(Multi, 2)
+	if n := len(collect(w, 0, 10)); n != 10 {
+		t.Fatalf("emitted %d touches, want 10", n)
+	}
+}

@@ -1,0 +1,221 @@
+// Package trace defines the workload intermediate representation the whole
+// reproduction runs on.
+//
+// The paper's workloads are real OpenMP binaries observed through a Pin
+// tool; ours are synthetic programs expressed one level up: a Program is a
+// sequence of parallel Regions (each delimited by implicit OpenMP barriers,
+// i.e. one barrier point per region execution), each region is a parallel
+// loop over one or more static basic Blocks, and each block declares its
+// abstract operation mix and its memory access behaviour. Everything the
+// methodology consumes — basic block execution counts, memory reuse
+// behaviour, instruction counts, cache misses — is derived from this IR.
+package trace
+
+import (
+	"fmt"
+
+	"barrierpoint/internal/isa"
+)
+
+// LineBytes is the cache line size shared by both modelled machines.
+const LineBytes = 64
+
+// Pattern describes how a block walks its data region. Addresses are
+// generated at cache-line granularity: one "touch" is one data reference
+// that can hit or miss in the cache hierarchy.
+type Pattern int
+
+const (
+	// Sequential walks lines in order, wrapping at the working set size.
+	Sequential Pattern = iota
+	// Strided advances a fixed number of lines per touch.
+	Strided
+	// Random touches a pseudo-random line per touch (hash of the touch
+	// index, so streams are deterministic and reproducible).
+	Random
+	// PointerChase is Random with serialised dependencies: the timing
+	// model charges full load-use latency for every touch.
+	PointerChase
+	// Gather alternates sequential index reads with random data touches,
+	// as in sparse matrix-vector or neighbour-list kernels.
+	Gather
+	// Multi interleaves three concurrent sequential streams through
+	// disjoint thirds of the region, like a fused x/y/w vector kernel or
+	// a stencil reading several planes. The interleaving defeats
+	// single-stream prefetch detection even though each stream is
+	// unit-stride.
+	Multi
+)
+
+var patternNames = map[Pattern]string{
+	Sequential:   "Sequential",
+	Strided:      "Strided",
+	Random:       "Random",
+	PointerChase: "PointerChase",
+	Gather:       "Gather",
+	Multi:        "Multi",
+}
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	if s, ok := patternNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// DataRegion is a contiguous array-like allocation. The Program allocator
+// assigns Base (in lines) when the program is finalised.
+type DataRegion struct {
+	ID    int
+	Name  string
+	Lines int64 // size in cache lines
+	Base  uint64
+}
+
+// Bytes returns the region size in bytes.
+func (d *DataRegion) Bytes() int64 { return d.Lines * LineBytes }
+
+// Block is a static basic block: the body of (part of) a parallel loop.
+// One execution of the block is one loop iteration.
+type Block struct {
+	ID   int
+	Name string
+	// Mix is the abstract operation mix of one scalar iteration.
+	Mix isa.OpMix
+	// Vectorisable marks loops the compiler can auto-vectorise. When a
+	// vectorised binary variant runs, trips collapse by the ISA's vector
+	// lane count (see Compile).
+	Vectorisable bool
+	// LinesPerIter is the expected number of cache-line touches one scalar
+	// iteration generates (may be fractional; e.g. a sequential scan of
+	// doubles touches a new line every 8 iterations).
+	LinesPerIter float64
+	// Pattern and Data describe where those touches land.
+	Pattern Pattern
+	Data    *DataRegion
+	// StrideLines is the line stride for the Strided pattern.
+	StrideLines int64
+}
+
+// BlockExec schedules Trips executions of a block inside a region. The
+// trips are what the runtime divides among threads.
+type BlockExec struct {
+	Block *Block
+	Trips int64
+	// Offset shifts the block's walk within its data region (element
+	// granularity = lines).
+	Offset int64
+	// WSLines, when positive, restricts the walk to the first WSLines
+	// lines of the data region. Workloads use this to grow or shrink a
+	// phase's working set across iterations (e.g. MCB's rising L2 MPKI).
+	WSLines int64
+}
+
+// Region is one OpenMP parallel region. Each execution of a region ends at
+// an implicit barrier, so region executions are exactly the paper's barrier
+// points.
+type Region struct {
+	Index int
+	Name  string
+	Work  []BlockExec
+}
+
+// Program is a full workload: static blocks, data regions, and the ordered
+// sequence of parallel regions the run executes.
+type Program struct {
+	Name    string
+	Blocks  []*Block
+	Data    []*DataRegion
+	Regions []Region
+
+	finalised bool
+}
+
+// NewProgram returns an empty program with the given name.
+func NewProgram(name string) *Program {
+	return &Program{Name: name}
+}
+
+// AddData registers a data region of the given size and returns it.
+func (p *Program) AddData(name string, lines int64) *DataRegion {
+	if lines <= 0 {
+		panic(fmt.Sprintf("trace: data region %q must have positive size", name))
+	}
+	d := &DataRegion{ID: len(p.Data), Name: name, Lines: lines}
+	p.Data = append(p.Data, d)
+	return d
+}
+
+// AddBlock registers a static basic block and returns it. The block ID is
+// its position in the static block table (the BBV dimension).
+func (p *Program) AddBlock(b Block) *Block {
+	if b.Data == nil {
+		panic(fmt.Sprintf("trace: block %q has no data region", b.Name))
+	}
+	if b.LinesPerIter < 0 {
+		panic(fmt.Sprintf("trace: block %q has negative LinesPerIter", b.Name))
+	}
+	nb := b
+	nb.ID = len(p.Blocks)
+	p.Blocks = append(p.Blocks, &nb)
+	return &nb
+}
+
+// AddRegion appends a parallel region executing the given work.
+func (p *Program) AddRegion(name string, work ...BlockExec) {
+	for _, w := range work {
+		if w.Block == nil {
+			panic("trace: region work with nil block")
+		}
+		if w.Trips < 0 {
+			panic("trace: region work with negative trips")
+		}
+	}
+	p.Regions = append(p.Regions, Region{Index: len(p.Regions), Name: name, Work: work})
+}
+
+// Finalise lays out the data regions in the simulated physical address
+// space (line granularity, one page of slack between regions so distinct
+// arrays never share cache sets systematically).
+func (p *Program) Finalise() {
+	var base uint64 = 1 << 20 // leave the bottom of the address space empty
+	for _, d := range p.Data {
+		d.Base = base
+		base += uint64(d.Lines) + 64
+	}
+	p.finalised = true
+}
+
+// Finalised reports whether Finalise has been called.
+func (p *Program) Finalised() bool { return p.finalised }
+
+// Validate checks structural invariants and returns a descriptive error if
+// any are violated. Apps call this after construction; the executor calls
+// it before running.
+func (p *Program) Validate() error {
+	if len(p.Regions) == 0 {
+		return fmt.Errorf("trace: program %q has no regions", p.Name)
+	}
+	if !p.finalised {
+		return fmt.Errorf("trace: program %q not finalised", p.Name)
+	}
+	for i, b := range p.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("trace: block %q has ID %d at index %d", b.Name, b.ID, i)
+		}
+	}
+	for _, r := range p.Regions {
+		for _, w := range r.Work {
+			if w.WSLines > w.Block.Data.Lines {
+				return fmt.Errorf("trace: region %q block %q working set %d exceeds data region %d lines",
+					r.Name, w.Block.Name, w.WSLines, w.Block.Data.Lines)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalRegions returns the number of parallel regions, i.e. the total
+// number of barrier points one execution produces.
+func (p *Program) TotalRegions() int { return len(p.Regions) }

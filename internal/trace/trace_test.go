@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"testing"
+
+	"barrierpoint/internal/isa"
+)
+
+// testProgram builds a tiny two-region program used across tests.
+func testProgram(t *testing.T) (*Program, *Block, *Block) {
+	t.Helper()
+	p := NewProgram("test")
+	d := p.AddData("array", 1024)
+	var mix isa.OpMix
+	mix[isa.IntOp] = 2
+	mix[isa.FPAdd] = 1
+	mix[isa.Load] = 1
+	mix[isa.Branch] = 1
+	b1 := p.AddBlock(Block{
+		Name: "stream", Mix: mix, Vectorisable: true,
+		LinesPerIter: 0.125, Pattern: Sequential, Data: d,
+	})
+	b2 := p.AddBlock(Block{
+		Name: "chase", Mix: mix,
+		LinesPerIter: 1, Pattern: PointerChase, Data: d,
+	})
+	p.AddRegion("r0", BlockExec{Block: b1, Trips: 800})
+	p.AddRegion("r1", BlockExec{Block: b2, Trips: 100})
+	p.Finalise()
+	return p, b1, b2
+}
+
+func TestProgramConstruction(t *testing.T) {
+	p, b1, b2 := testProgram(t)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b1.ID != 0 || b2.ID != 1 {
+		t.Errorf("block IDs %d,%d", b1.ID, b2.ID)
+	}
+	if p.TotalRegions() != 2 {
+		t.Errorf("TotalRegions = %d", p.TotalRegions())
+	}
+	if !p.Finalised() {
+		t.Error("program should be finalised")
+	}
+}
+
+func TestValidateRejectsUnfinalised(t *testing.T) {
+	p := NewProgram("x")
+	d := p.AddData("d", 8)
+	b := p.AddBlock(Block{Name: "b", Data: d, LinesPerIter: 1})
+	p.AddRegion("r", BlockExec{Block: b, Trips: 1})
+	if err := p.Validate(); err == nil {
+		t.Error("expected error for unfinalised program")
+	}
+}
+
+func TestValidateRejectsEmptyProgram(t *testing.T) {
+	p := NewProgram("empty")
+	p.Finalise()
+	if err := p.Validate(); err == nil {
+		t.Error("expected error for program with no regions")
+	}
+}
+
+func TestValidateRejectsOversizedWorkingSet(t *testing.T) {
+	p := NewProgram("x")
+	d := p.AddData("d", 8)
+	b := p.AddBlock(Block{Name: "b", Data: d, LinesPerIter: 1})
+	p.AddRegion("r", BlockExec{Block: b, Trips: 1, WSLines: 9})
+	p.Finalise()
+	if err := p.Validate(); err == nil {
+		t.Error("expected error for working set exceeding region")
+	}
+}
+
+func TestAddDataPanicsOnZeroSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewProgram("x").AddData("d", 0)
+}
+
+func TestAddBlockPanicsWithoutData(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewProgram("x").AddBlock(Block{Name: "b"})
+}
+
+func TestFinaliseAssignsDisjointBases(t *testing.T) {
+	p := NewProgram("x")
+	a := p.AddData("a", 100)
+	b := p.AddData("b", 200)
+	p.Finalise()
+	if a.Base == 0 || b.Base == 0 {
+		t.Error("bases must be assigned")
+	}
+	if b.Base < a.Base+uint64(a.Lines) {
+		t.Errorf("regions overlap: a=[%d,%d) b starts %d", a.Base, a.Base+uint64(a.Lines), b.Base)
+	}
+}
+
+func TestDataRegionBytes(t *testing.T) {
+	d := DataRegion{Lines: 16}
+	if d.Bytes() != 1024 {
+		t.Errorf("Bytes = %d", d.Bytes())
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	for p, want := range map[Pattern]string{
+		Sequential: "Sequential", Strided: "Strided", Random: "Random",
+		PointerChase: "PointerChase", Gather: "Gather",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+	if Pattern(42).String() != "Pattern(42)" {
+		t.Error("unknown pattern should render numerically")
+	}
+}
+
+func TestCompileScalar(t *testing.T) {
+	_, b1, _ := testProgram(t)
+	v := isa.Variant{ISA: isa.X8664(), Vectorised: false}
+	c := Compile(b1, 800, v)
+	if c.VectorTrips != 0 || c.ScalarTrips != 800 {
+		t.Errorf("scalar compile: %+v", c)
+	}
+	if c.Instructions() <= 0 {
+		t.Error("instructions must be positive")
+	}
+}
+
+func TestCompileVectorised(t *testing.T) {
+	_, b1, _ := testProgram(t)
+	for _, arch := range []*isa.ISA{isa.X8664(), isa.ARMv8()} {
+		v := isa.Variant{ISA: arch, Vectorised: true}
+		c := Compile(b1, 801, v)
+		lanes := int64(arch.VectorLanes64())
+		if c.VectorTrips != 801/lanes || c.ScalarTrips != 801%lanes {
+			t.Errorf("%s: trips %d/%d", arch.Name, c.VectorTrips, c.ScalarTrips)
+		}
+		scalar := Compile(b1, 801, isa.Variant{ISA: arch})
+		if c.Instructions() >= scalar.Instructions() {
+			t.Errorf("%s: vectorised (%f) should execute fewer instructions than scalar (%f)",
+				arch.Name, c.Instructions(), scalar.Instructions())
+		}
+	}
+}
+
+func TestCompileVectorWidthOrdering(t *testing.T) {
+	// AVX (4 lanes) must shrink instruction counts more than Advanced
+	// SIMD (2 lanes) for the same vectorisable loop.
+	_, b1, _ := testProgram(t)
+	x := Compile(b1, 10000, isa.Variant{ISA: isa.X8664(), Vectorised: true})
+	a := Compile(b1, 10000, isa.Variant{ISA: isa.ARMv8(), Vectorised: true})
+	if x.Instructions() >= a.Instructions() {
+		t.Errorf("AVX %f should retire fewer instructions than AdvSIMD %f",
+			x.Instructions(), a.Instructions())
+	}
+}
+
+func TestCompileNonVectorisableIgnoresVectorFlag(t *testing.T) {
+	_, _, b2 := testProgram(t)
+	c := Compile(b2, 100, isa.Variant{ISA: isa.X8664(), Vectorised: true})
+	if c.VectorTrips != 0 || c.ScalarTrips != 100 {
+		t.Errorf("non-vectorisable block must stay scalar: %+v", c)
+	}
+}
+
+func TestCompileInstrMixMatchesInstructions(t *testing.T) {
+	_, b1, _ := testProgram(t)
+	c := Compile(b1, 801, isa.Variant{ISA: isa.ARMv8(), Vectorised: true})
+	if diff := c.InstrMix().Total() - c.Instructions(); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("InstrMix total %f != Instructions %f", c.InstrMix().Total(), c.Instructions())
+	}
+}
+
+func TestCompileZeroTrips(t *testing.T) {
+	_, b1, _ := testProgram(t)
+	c := Compile(b1, 0, isa.Variant{ISA: isa.X8664(), Vectorised: true})
+	if c.Instructions() != 0 {
+		t.Error("zero trips must compile to zero instructions")
+	}
+}
