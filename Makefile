@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: ci fmt-check vet build test-short test bench
+
+# ci is the tier-1 gate: formatting, static checks, build, fast tests.
+ci: fmt-check vet build test-short
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# test-short skips the slow experiment sweeps (< 1 minute).
+test-short:
+	$(GO) test -short ./...
+
+# test runs everything, including the full experiment smoke sweeps.
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

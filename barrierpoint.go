@@ -28,10 +28,14 @@
 package barrierpoint
 
 import (
+	"context"
+
 	"barrierpoint/internal/apps"
 	"barrierpoint/internal/core"
 	"barrierpoint/internal/isa"
 	"barrierpoint/internal/machine"
+	"barrierpoint/internal/resultcache"
+	"barrierpoint/internal/sched"
 	"barrierpoint/internal/trace"
 )
 
@@ -78,9 +82,39 @@ var (
 	Validate = core.Validate
 	// CheckApplicability evaluates the Section V-B limitations.
 	CheckApplicability = core.CheckApplicability
-	// RunStudy executes the whole workflow for one workload/configuration.
-	RunStudy = core.RunStudy
 )
+
+// studyCache memoises expensive study intermediates (discovery baselines,
+// collections, whole studies) across RunStudy calls in this process. The
+// LRU bound caps retention at DefaultMaxEntries values for the process
+// lifetime — the deliberate trade for repeated and overlapping studies
+// returning without recomputation.
+var studyCache = resultcache.New(resultcache.DefaultMaxEntries)
+
+// RunStudy executes the whole workflow for one workload/configuration on
+// the concurrent study scheduler (internal/sched): discovery runs, native
+// collections and validations fan out across a worker pool and repeated
+// intermediates are served from an in-process cache. The result is
+// byte-identical to the serial core.RunStudy reference for the same
+// arguments.
+//
+// Each call returns its own StudyResult and Evals slice, so reordering or
+// replacing evaluations is safe. The deep measurement data (Collections,
+// Validations) may be shared with other calls for the same arguments and
+// must be treated as read-only.
+func RunStudy(app string, build ProgramBuilder, cfg StudyConfig) (*StudyResult, error) {
+	res, err := sched.Run(context.Background(), sched.StudyRequest{
+		App:    app,
+		Build:  build,
+		Config: cfg,
+	}, sched.Options{Cache: studyCache})
+	if err != nil {
+		return nil, err
+	}
+	clone := *res
+	clone.Evals = append([]SetEvaluation(nil), res.Evals...)
+	return &clone, nil
+}
 
 // ErrRegionCountMismatch is returned when a barrier point set cannot be
 // applied across architectures because the executions have different

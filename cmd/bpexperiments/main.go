@@ -1,30 +1,44 @@
 // Command bpexperiments regenerates the paper's tables and figures.
 //
+// Experiments render concurrently on the study scheduler — each study's
+// discovery runs, collections and validations fan out across a bounded
+// worker pool, and experiments sharing studies deduplicate through the
+// runner's result cache — but output is printed in experiment order and
+// is byte-identical for any -workers value.
+//
 // Usage:
 //
 //	bpexperiments -exp table4          # one experiment
 //	bpexperiments -exp all             # everything (slow: full sweep)
 //	bpexperiments -exp fig2 -quick     # reduced sweep for a fast look
+//	bpexperiments -workers 16          # widen the scheduler
 //	bpexperiments -list                # available experiments
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"barrierpoint/internal/experiments"
+	"barrierpoint/internal/sched"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment name (see -list) or 'all'")
-		quick = flag.Bool("quick", false, "reduced sweep: fewer discovery runs and thread counts")
-		seed  = flag.Uint64("seed", 2017, "experiment seed")
-		runs  = flag.Int("runs", 0, "override discovery runs (0 = preset)")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "all", "experiment name (see -list) or 'all'")
+		quick   = flag.Bool("quick", false, "reduced sweep: fewer discovery runs and thread counts")
+		seed    = flag.Uint64("seed", 2017, "experiment seed")
+		runs    = flag.Int("runs", 0, "override discovery runs (0 = preset)")
+		workers = flag.Int("workers", 0, "total worker budget across experiments and per-study units (0 = GOMAXPROCS)")
+		serial  = flag.Bool("serial", false, "render experiments one at a time (same output, for timing comparisons)")
+		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -34,16 +48,6 @@ func main() {
 		}
 		return
 	}
-
-	cfg := experiments.Default()
-	if *quick {
-		cfg = experiments.Quick()
-	}
-	cfg.Seed = *seed
-	if *runs > 0 {
-		cfg.Runs = *runs
-	}
-	runner := experiments.NewRunner(cfg)
 
 	var selected []experiments.Experiment
 	if *exp == "all" {
@@ -59,12 +63,73 @@ func main() {
 		}
 	}
 
-	for _, e := range selected {
-		start := time.Now()
-		if err := e.Run(runner, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "bpexperiments: %s: %v\n", e.Name, err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.Name, time.Since(start).Round(time.Millisecond))
+	// -workers is one total budget, split between the two levels of
+	// parallelism: `width` experiments render concurrently and each study
+	// inside them fans units across `budget/width` workers, so the product
+	// stays ≈ the budget instead of squaring it. A single experiment gets
+	// the whole budget for its per-study units.
+	budget := *workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
 	}
+	width := budget
+	if width > len(selected) {
+		width = len(selected)
+	}
+	if *serial {
+		width = 1
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	cfg.Workers = budget / width
+	runner := experiments.NewRunner(cfg)
+
+	// Experiments render into per-experiment buffers so they can run
+	// concurrently without interleaving; each experiment's output is
+	// printed whole once it and every lower-indexed experiment have
+	// finished. The bytes match the old serial loop exactly, but appear
+	// per completed experiment rather than line by line.
+	outs := make([]bytes.Buffer, len(selected))
+	took := make([]time.Duration, len(selected))
+	var (
+		mu   sync.Mutex
+		done = make([]bool, len(selected))
+		next int
+	)
+	flush := func() { // caller holds mu
+		for next < len(selected) && done[next] {
+			os.Stdout.Write(outs[next].Bytes())
+			fmt.Fprintf(os.Stderr, "[%s done in %v]\n",
+				selected[next].Name, took[next].Round(time.Millisecond))
+			next++
+		}
+	}
+	start := time.Now()
+	err := sched.ForEach(context.Background(), len(selected), width,
+		func(ctx context.Context, i int) error {
+			t0 := time.Now()
+			if err := selected[i].Run(runner, &outs[i]); err != nil {
+				return fmt.Errorf("%s: %w", selected[i].Name, err)
+			}
+			mu.Lock()
+			took[i] = time.Since(t0)
+			done[i] = true
+			flush()
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpexperiments:", err)
+		os.Exit(1)
+	}
+	stats := runner.CacheStats()
+	fmt.Fprintf(os.Stderr, "[suite done in %v: %d experiments, cache %d hits / %d misses]\n",
+		time.Since(start).Round(time.Millisecond), len(selected), stats.Hits, stats.Misses)
 }

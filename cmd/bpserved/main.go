@@ -1,0 +1,63 @@
+// Command bpserved serves the BarrierPoint study-execution subsystem over
+// HTTP: studies are submitted as JSON, run on the concurrent scheduler
+// with result caching, and polled until their report is ready.
+//
+// Usage:
+//
+//	bpserved -addr :8080 -workers 8 -executors 2 -cache 256
+//
+//	curl -s -X POST localhost:8080/studies \
+//	     -d '{"app":"MCB","threads":8,"runs":10,"reps":20,"seed":2017}'
+//	curl -s localhost:8080/studies/s-000001
+//	curl -s localhost:8080/studies/s-000001/report
+//	curl -s localhost:8080/healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"barrierpoint/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "per-study unit concurrency (0 = GOMAXPROCS)")
+		executors = flag.Int("executors", 2, "studies running concurrently")
+		queue     = flag.Int("queue", 64, "submission queue depth")
+		cacheSize = flag.Int("cache", 256, "result cache entries")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:    *workers,
+		Executors:  *executors,
+		QueueDepth: *queue,
+		CacheSize:  *cacheSize,
+	})
+	defer svc.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "bpserved: listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "bpserved:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module barrierpoint
+
+go 1.24

@@ -61,14 +61,22 @@ type CollectConfig struct {
 	MultiplexGroups int
 }
 
+// WithDefaults returns the configuration with unset fields filled in with
+// the paper's values — the single source of truth for collection
+// defaults, shared by Collect and the scheduler's cache keys.
+func (cfg CollectConfig) WithDefaults() CollectConfig {
+	if cfg.Reps <= 0 {
+		cfg.Reps = 20
+	}
+	return cfg
+}
+
 // Collect runs the binary variant natively on its platform and gathers
 // PMU statistics per barrier point and for the whole region of interest.
 func Collect(build ProgramBuilder, cfg CollectConfig) (*Collection, error) {
+	cfg = cfg.WithDefaults()
 	if cfg.Variant.ISA == nil {
 		return nil, fmt.Errorf("core: collection needs a binary variant")
-	}
-	if cfg.Reps <= 0 {
-		cfg.Reps = 20
 	}
 	mach := cfg.Machine
 	if mach == nil {

@@ -39,123 +39,198 @@ func DefaultDiscovery(threads int, vectorised bool, seed uint64) DiscoveryConfig
 	return DiscoveryConfig{Threads: threads, Vectorised: vectorised, Runs: 10, Seed: seed}
 }
 
-// Discover performs cfg.Runs instrumented discovery runs on the x86_64
-// platform, clustering each run's signature vectors into a barrier point
-// set.
-//
-// Reuse distances are collected on the canonical (unjittered) first run
-// and reused for the jittered re-runs: schedule jitter perturbs how trips
-// split across threads (and therefore the BBVs) but not the per-region
-// data footprint, and LDV collection is by far the most expensive part of
-// instrumentation.
-func Discover(build ProgramBuilder, cfg DiscoveryConfig) ([]BarrierPointSet, error) {
+// WithDefaults returns the configuration with unset fields filled in with
+// the paper's values. It is the single source of truth for discovery
+// defaults: the discovery runners use it before computing, and the
+// scheduler's cache uses it before keying, so a zero field and its
+// explicit default always describe — and address — the same computation.
+func (cfg DiscoveryConfig) WithDefaults() DiscoveryConfig {
 	if cfg.Runs <= 0 {
 		cfg.Runs = 10
 	}
-	if cfg.Threads <= 0 {
-		return nil, fmt.Errorf("core: discovery needs a positive thread count, got %d", cfg.Threads)
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 20
 	}
+	if cfg.SigDim <= 0 {
+		cfg.SigDim = sigvec.DefaultDim
+	}
+	return cfg
+}
+
+// LDVBaseline carries the canonical (unjittered) run's per-barrier-point
+// binned LRU-stack distance vectors. Schedule jitter perturbs how trips
+// split across threads (and therefore the BBVs) but not the per-region
+// data footprint, and LDV collection is by far the most expensive part of
+// instrumentation, so jittered re-runs reuse the baseline's LDVs. The
+// type is immutable after DiscoverBaseline returns, so any number of
+// jittered runs may consume it concurrently.
+type LDVBaseline struct {
+	perPoint [][]float64
+}
+
+// NumPoints returns how many barrier points the canonical run observed.
+func (b *LDVBaseline) NumPoints() int { return len(b.perPoint) }
+
+// discoverySetup validates the configuration and resolves the shared
+// per-run parameters. Every discovery entry point goes through it so the
+// serial and scheduled paths reject bad configurations identically.
+func discoverySetup(cfg DiscoveryConfig) (isa.Variant, *machine.Machine, sigvec.Options, int, error) {
+	cfg = cfg.WithDefaults()
 	variant := isa.Variant{ISA: isa.X8664(), Vectorised: cfg.Vectorised}
 	mach := machine.ForISA(variant.ISA)
-	if cfg.Threads > mach.MaxThreads() {
-		return nil, fmt.Errorf("core: %d threads exceed the %s's %d hardware threads",
-			cfg.Threads, mach.Name, mach.MaxThreads())
+	if cfg.Threads <= 0 {
+		return variant, nil, sigvec.Options{}, 0,
+			fmt.Errorf("core: discovery needs a positive thread count, got %d", cfg.Threads)
 	}
-
+	if cfg.Threads > mach.MaxThreads() {
+		return variant, nil, sigvec.Options{}, 0,
+			fmt.Errorf("core: %d threads exceed the %s's %d hardware threads",
+				cfg.Threads, mach.Name, mach.MaxThreads())
+	}
 	opts := sigvec.Options{
 		Dim:    cfg.SigDim,
 		UseBBV: !cfg.DisableBBV,
 		UseLDV: !cfg.DisableLDV,
 		Seed:   cfg.Seed,
 	}
-	if opts.Dim <= 0 {
-		opts.Dim = sigvec.DefaultDim
+	return variant, mach, opts, cfg.MaxK, nil
+}
+
+// discoverRun executes one instrumented discovery run and clusters it.
+// Run 0 is the canonical run: it collects LDVs and returns them as the
+// baseline for the jittered runs. Runs ≥ 1 reuse the supplied baseline.
+// Each run's randomness is derived solely from (cfg.Seed, run), so runs
+// are independent of execution order.
+func discoverRun(build ProgramBuilder, cfg DiscoveryConfig, run int, base *LDVBaseline) (BarrierPointSet, *LDVBaseline, error) {
+	variant, mach, opts, maxK, err := discoverySetup(cfg)
+	if err != nil {
+		return BarrierPointSet{}, nil, err
 	}
-	maxK := cfg.MaxK
-	if maxK <= 0 {
-		maxK = 20
+	if run > 0 && base == nil {
+		return BarrierPointSet{}, nil, fmt.Errorf("core: jittered discovery run %d needs the canonical run's LDV baseline", run)
 	}
 
-	// ldvCache[i] is barrier point i's binned LDV from the canonical run.
-	var ldvCache [][]float64
+	prog, err := build(cfg.Threads, variant)
+	if err != nil {
+		return BarrierPointSet{}, nil, fmt.Errorf("core: building %d-thread x86_64 program: %w", cfg.Threads, err)
+	}
+	runCfg := omp.Config{Machine: mach, Variant: variant, Threads: cfg.Threads, WarmCaches: true}
+	pinOpts := pin.Options{}
+	if run > 0 {
+		runCfg.Jitter = xrand.Derive(cfg.Seed, fmt.Sprintf("discovery-jitter-%d", run))
+		// Interleaving jitter perturbs how loop iterations split
+		// across threads by a fraction of a percent — enough to move
+		// signatures and occasionally change the clustering, as the
+		// paper observes across its ten runs, without fabricating
+		// sub-phases that do not exist.
+		runCfg.JitterFrac = 0.005
+		runCfg.SkipMemory = true // BBV-only runs need no memory simulation
+		pinOpts.SkipLDV = true
+	}
 
-	sets := make([]BarrierPointSet, 0, cfg.Runs)
-	for run := 0; run < cfg.Runs; run++ {
-		prog, err := build(cfg.Threads, variant)
-		if err != nil {
-			return nil, fmt.Errorf("core: building %d-thread x86_64 program: %w", cfg.Threads, err)
-		}
-		runCfg := omp.Config{Machine: mach, Variant: variant, Threads: cfg.Threads, WarmCaches: true}
-		pinOpts := pin.Options{}
-		if run > 0 {
-			runCfg.Jitter = xrand.Derive(cfg.Seed, fmt.Sprintf("discovery-jitter-%d", run))
-			// Interleaving jitter perturbs how loop iterations split
-			// across threads by a fraction of a percent — enough to move
-			// signatures and occasionally change the clustering, as the
-			// paper observes across its ten runs, without fabricating
-			// sub-phases that do not exist.
-			runCfg.JitterFrac = 0.005
-			runCfg.SkipMemory = true // BBV-only runs need no memory simulation
-			pinOpts.SkipLDV = true
-		}
-
-		var points []simpoint.Point
-		var weights []float64
-		err = pin.Stream(prog, runCfg, pinOpts, func(s pin.Signature) {
-			ldv := s.LDV
-			if run == 0 {
-				ldvCache = append(ldvCache, append([]float64(nil), ldv...))
-			} else if opts.UseLDV {
-				if s.Index < len(ldvCache) {
-					ldv = ldvCache[s.Index]
-				} else {
-					ldv = make([]float64, pin.NumDistBins*cfg.Threads)
-				}
+	var newBase *LDVBaseline
+	if run == 0 {
+		newBase = &LDVBaseline{}
+	}
+	var points []simpoint.Point
+	var weights []float64
+	err = pin.Stream(prog, runCfg, pinOpts, func(s pin.Signature) {
+		ldv := s.LDV
+		if run == 0 {
+			newBase.perPoint = append(newBase.perPoint, append([]float64(nil), ldv...))
+		} else if opts.UseLDV {
+			if s.Index < len(base.perPoint) {
+				ldv = base.perPoint[s.Index]
+			} else {
+				ldv = make([]float64, pin.NumDistBins*cfg.Threads)
 			}
-			points = append(points, simpoint.Point{
-				Vec:    sigvec.Build(s.BBV, ldv, opts),
-				Weight: s.Instructions,
-			})
-			weights = append(weights, s.Instructions)
+		}
+		points = append(points, simpoint.Point{
+			Vec:    sigvec.Build(s.BBV, ldv, opts),
+			Weight: s.Instructions,
 		})
-		if err != nil {
-			return nil, fmt.Errorf("core: discovery run %d: %w", run, err)
-		}
+		weights = append(weights, s.Instructions)
+	})
+	if err != nil {
+		return BarrierPointSet{}, nil, fmt.Errorf("core: discovery run %d: %w", run, err)
+	}
 
-		spCfg := simpoint.DefaultConfig(xrand.Derive(cfg.Seed, fmt.Sprintf("kmeans-%d", run)).Uint64())
-		spCfg.MaxK = maxK
-		// Searching up to n clusters over a handful of barrier points
-		// degenerates into selecting nearly everything; cap the search at
-		// half the points for very short executions like MCB's ten
-		// regions.
-		if half := (len(points) + 1) / 2; spCfg.MaxK > half {
-			spCfg.MaxK = half
-		}
-		res, err := simpoint.Cluster(points, spCfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: clustering run %d: %w", run, err)
-		}
+	spCfg := simpoint.DefaultConfig(xrand.Derive(cfg.Seed, fmt.Sprintf("kmeans-%d", run)).Uint64())
+	spCfg.MaxK = maxK
+	// Searching up to n clusters over a handful of barrier points
+	// degenerates into selecting nearly everything; cap the search at
+	// half the points for very short executions like MCB's ten
+	// regions.
+	if half := (len(points) + 1) / 2; spCfg.MaxK > half {
+		spCfg.MaxK = half
+	}
+	res, err := simpoint.Cluster(points, spCfg)
+	if err != nil {
+		return BarrierPointSet{}, nil, fmt.Errorf("core: clustering run %d: %w", run, err)
+	}
 
-		set := BarrierPointSet{
-			Run:         run,
-			Threads:     cfg.Threads,
-			Vectorised:  cfg.Vectorised,
-			TotalPoints: len(points),
+	set := BarrierPointSet{
+		Run:         run,
+		Threads:     cfg.Threads,
+		Vectorised:  cfg.Vectorised,
+		TotalPoints: len(points),
+	}
+	for _, w := range weights {
+		set.TotalInstructions += w
+	}
+	for c, rep := range res.Representatives {
+		if rep < 0 {
+			continue
 		}
-		for _, w := range weights {
-			set.TotalInstructions += w
+		set.Selected = append(set.Selected, SelectedPoint{
+			Index:        rep,
+			Multiplier:   res.Multipliers[c],
+			Instructions: weights[rep],
+		})
+	}
+	sortSelected(set.Selected)
+	return set, newBase, nil
+}
+
+// DiscoverBaseline performs the canonical (unjittered) discovery run:
+// full BBV+LDV instrumentation, clustering, and the LDV baseline the
+// jittered runs reuse. It is the sequential head of discovery; the
+// remaining cfg.Runs-1 jittered runs are mutually independent and may
+// execute in any order or concurrently (see internal/sched).
+func DiscoverBaseline(build ProgramBuilder, cfg DiscoveryConfig) (BarrierPointSet, *LDVBaseline, error) {
+	return discoverRun(build, cfg, 0, nil)
+}
+
+// DiscoverJittered performs jittered discovery run `run` (≥ 1) against
+// the canonical run's LDV baseline. Runs are deterministic functions of
+// (cfg.Seed, run): the same arguments produce the same set regardless of
+// how many other runs execute, or in what order.
+func DiscoverJittered(build ProgramBuilder, cfg DiscoveryConfig, run int, base *LDVBaseline) (BarrierPointSet, error) {
+	if run <= 0 {
+		return BarrierPointSet{}, fmt.Errorf("core: jittered discovery run index must be ≥ 1, got %d", run)
+	}
+	set, _, err := discoverRun(build, cfg, run, base)
+	return set, err
+}
+
+// Discover performs cfg.Runs instrumented discovery runs on the x86_64
+// platform, clustering each run's signature vectors into a barrier point
+// set. It is the serial reference composition of DiscoverBaseline and
+// DiscoverJittered; sched.Run executes the same per-run primitives
+// concurrently with byte-identical results.
+func Discover(build ProgramBuilder, cfg DiscoveryConfig) ([]BarrierPointSet, error) {
+	cfg = cfg.WithDefaults()
+	sets := make([]BarrierPointSet, 0, cfg.Runs)
+	set, base, err := DiscoverBaseline(build, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sets = append(sets, set)
+	for run := 1; run < cfg.Runs; run++ {
+		set, err := DiscoverJittered(build, cfg, run, base)
+		if err != nil {
+			return nil, err
 		}
-		for c, rep := range res.Representatives {
-			if rep < 0 {
-				continue
-			}
-			set.Selected = append(set.Selected, SelectedPoint{
-				Index:        rep,
-				Multiplier:   res.Multipliers[c],
-				Instructions: weights[rep],
-			})
-		}
-		sortSelected(set.Selected)
 		sets = append(sets, set)
 	}
 	return sets, nil

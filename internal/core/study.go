@@ -23,6 +23,48 @@ type StudyConfig struct {
 	MaxK int
 }
 
+// WithDefaults returns the configuration with unset fields filled in with
+// the paper's values. Every study entry point (serial RunStudy, the
+// scheduler, the HTTP service) normalises through it, so the same request
+// always describes the same work — a prerequisite for content-addressed
+// caching.
+func (cfg StudyConfig) WithDefaults() StudyConfig {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 10
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 20
+	}
+	if cfg.MaxK <= 0 {
+		cfg.MaxK = 20
+	}
+	return cfg
+}
+
+// Discovery returns the Step-2 configuration the study implies.
+func (cfg StudyConfig) Discovery() DiscoveryConfig {
+	disc := DefaultDiscovery(cfg.Threads, cfg.Vectorised, cfg.Seed)
+	disc.Runs = cfg.Runs
+	disc.MaxK = cfg.MaxK
+	return disc
+}
+
+// Collections returns the Step-3 configurations for the two target
+// platforms, x86_64 first. The ARM collection derives its noise from
+// Seed+1 so the two platforms' measurement noise is independent.
+func (cfg StudyConfig) Collections() [2]CollectConfig {
+	return [2]CollectConfig{
+		{
+			Variant: isa.Variant{ISA: isa.X8664(), Vectorised: cfg.Vectorised},
+			Threads: cfg.Threads, Reps: cfg.Reps, Seed: cfg.Seed,
+		},
+		{
+			Variant: isa.Variant{ISA: isa.ARMv8(), Vectorised: cfg.Vectorised},
+			Threads: cfg.Threads, Reps: cfg.Reps, Seed: cfg.Seed + 1,
+		},
+	}
+}
+
 // SetEvaluation scores one discovered barrier point set against both
 // target architectures.
 type SetEvaluation struct {
@@ -74,20 +116,69 @@ func (r *StudyResult) MinMaxSelected() (min, max int) {
 	return min, max
 }
 
-// RunStudy executes the full Section V workflow for one workload and
-// configuration.
-func RunStudy(app string, build ProgramBuilder, cfg StudyConfig) (*StudyResult, error) {
-	if cfg.Runs <= 0 {
-		cfg.Runs = 10
+// EvaluateSet validates one discovered barrier point set against both
+// target collections (Steps 4+5 for one set). Evaluations of different
+// sets are independent of each other, so the scheduler fans them out.
+func EvaluateSet(app string, idx int, set *BarrierPointSet, x86Col, armCol *Collection) (SetEvaluation, error) {
+	eval := SetEvaluation{Set: *set}
+	var err error
+	eval.X86, err = Validate(set, x86Col)
+	if err != nil {
+		return eval, fmt.Errorf("core: study %s validating set %d on x86_64: %w", app, idx, err)
 	}
-	if cfg.Reps <= 0 {
-		cfg.Reps = 20
+	eval.ARM, eval.ARMErr = Validate(set, armCol)
+	if eval.ARMErr != nil && !errors.Is(eval.ARMErr, ErrRegionCountMismatch) {
+		return eval, fmt.Errorf("core: study %s validating set %d on ARMv8: %w", app, idx, eval.ARMErr)
 	}
+	return eval, nil
+}
 
-	disc := DefaultDiscovery(cfg.Threads, cfg.Vectorised, cfg.Seed)
-	disc.Runs = cfg.Runs
-	disc.MaxK = cfg.MaxK
-	sets, err := Discover(build, disc)
+// evalScore ranks one evaluation: mean error across metrics and
+// architectures, tie-broken toward smaller sets — when two sets estimate
+// equally well, the one with fewer barrier points needs less simulation
+// (the trade-off Section VI-B discusses).
+func evalScore(eval *SetEvaluation) float64 {
+	score := eval.X86.MeanErrPct()
+	if eval.ARM != nil {
+		score = (score + eval.ARM.MeanErrPct()) / 2
+	}
+	return score + 0.02*float64(len(eval.Set.Selected))
+}
+
+// AssembleStudy builds the final StudyResult from the per-unit outcomes.
+// The evaluations must be in discovery-run order; assembly iterates them
+// in that order, so the result is independent of how (or how concurrently)
+// the units were executed.
+func AssembleStudy(app string, cfg StudyConfig, evals []SetEvaluation, x86Col, armCol *Collection) *StudyResult {
+	res := &StudyResult{
+		App:      app,
+		Config:   cfg,
+		TotalBPs: evals[0].Set.TotalPoints,
+		X86Col:   x86Col,
+		ARMCol:   armCol,
+		Evals:    evals,
+	}
+	bestScore := -1.0
+	for i := range evals {
+		score := evalScore(&evals[i])
+		if bestScore < 0 || score < bestScore {
+			bestScore = score
+			res.Best = i
+		}
+	}
+	best := res.BestEval()
+	res.Applicability = CheckApplicability(&best.Set, x86Col, armCol)
+	return res
+}
+
+// RunStudy executes the full Section V workflow for one workload and
+// configuration. It is the serial reference composition of the study's
+// units — discovery runs, per-variant collections, per-set validations —
+// which internal/sched executes concurrently with byte-identical results.
+func RunStudy(app string, build ProgramBuilder, cfg StudyConfig) (*StudyResult, error) {
+	cfg = cfg.WithDefaults()
+
+	sets, err := Discover(build, cfg.Discovery())
 	if err != nil {
 		return nil, fmt.Errorf("core: study %s: %w", app, err)
 	}
@@ -95,55 +186,22 @@ func RunStudy(app string, build ProgramBuilder, cfg StudyConfig) (*StudyResult, 
 		return nil, fmt.Errorf("core: study %s produced no barrier point sets", app)
 	}
 
-	x86Col, err := Collect(build, CollectConfig{
-		Variant: isa.Variant{ISA: isa.X8664(), Vectorised: cfg.Vectorised},
-		Threads: cfg.Threads, Reps: cfg.Reps, Seed: cfg.Seed,
-	})
+	colCfgs := cfg.Collections()
+	x86Col, err := Collect(build, colCfgs[0])
 	if err != nil {
 		return nil, fmt.Errorf("core: study %s x86_64 collection: %w", app, err)
 	}
-	armCol, err := Collect(build, CollectConfig{
-		Variant: isa.Variant{ISA: isa.ARMv8(), Vectorised: cfg.Vectorised},
-		Threads: cfg.Threads, Reps: cfg.Reps, Seed: cfg.Seed + 1,
-	})
+	armCol, err := Collect(build, colCfgs[1])
 	if err != nil {
 		return nil, fmt.Errorf("core: study %s ARMv8 collection: %w", app, err)
 	}
 
-	res := &StudyResult{
-		App:      app,
-		Config:   cfg,
-		TotalBPs: sets[0].TotalPoints,
-		X86Col:   x86Col,
-		ARMCol:   armCol,
-	}
-	bestScore := -1.0
+	evals := make([]SetEvaluation, len(sets))
 	for i := range sets {
-		set := &sets[i]
-		eval := SetEvaluation{Set: *set}
-		eval.X86, err = Validate(set, x86Col)
+		evals[i], err = EvaluateSet(app, i, &sets[i], x86Col, armCol)
 		if err != nil {
-			return nil, fmt.Errorf("core: study %s validating set %d on x86_64: %w", app, i, err)
-		}
-		eval.ARM, eval.ARMErr = Validate(set, armCol)
-		if eval.ARMErr != nil && !errors.Is(eval.ARMErr, ErrRegionCountMismatch) {
-			return nil, fmt.Errorf("core: study %s validating set %d on ARMv8: %w", app, i, eval.ARMErr)
-		}
-		score := eval.X86.MeanErrPct()
-		if eval.ARM != nil {
-			score = (score + eval.ARM.MeanErrPct()) / 2
-		}
-		// Tie-break toward smaller sets: when two sets estimate equally
-		// well, the one with fewer barrier points needs less simulation
-		// (the trade-off Section VI-B discusses).
-		score += 0.02 * float64(len(set.Selected))
-		res.Evals = append(res.Evals, eval)
-		if bestScore < 0 || score < bestScore {
-			bestScore = score
-			res.Best = len(res.Evals) - 1
+			return nil, err
 		}
 	}
-	best := res.BestEval()
-	res.Applicability = CheckApplicability(&best.Set, x86Col, armCol)
-	return res, nil
+	return AssembleStudy(app, cfg, evals, x86Col, armCol), nil
 }

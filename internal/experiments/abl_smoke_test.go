@@ -6,6 +6,9 @@ import (
 )
 
 func TestAblationsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep")
+	}
 	r := NewRunner(Config{Seed: 7, Runs: 2, Reps: 5, Threads: []int{2}})
 	for _, name := range []string{"ablation-signature", "ablation-drop", "ablation-runs", "ablation-dim"} {
 		e, err := ByName(name)

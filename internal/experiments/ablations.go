@@ -23,11 +23,11 @@ func ablationValidate(r *Runner, disc core.DiscoveryConfig) (*core.Validation, *
 	if err != nil {
 		return nil, nil, err
 	}
-	sets, err := core.Discover(a.Build, disc)
+	sets, err := r.Discover(ablationApp, a.Build, disc)
 	if err != nil {
 		return nil, nil, err
 	}
-	col, err := core.Collect(a.Build, core.CollectConfig{
+	col, err := r.Collect(ablationApp, a.Build, core.CollectConfig{
 		Variant: isa.Variant{ISA: isa.X8664(), Vectorised: disc.Vectorised},
 		Threads: disc.Threads, Reps: r.cfg.Reps, Seed: r.cfg.Seed,
 	})

@@ -8,12 +8,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"sync"
 
 	"barrierpoint/internal/apps"
 	"barrierpoint/internal/core"
+	"barrierpoint/internal/resultcache"
+	"barrierpoint/internal/sched"
 )
 
 // Config scales the experiments.
@@ -29,6 +31,10 @@ type Config struct {
 	Threads []int
 	// MaxK caps clustering.
 	MaxK int
+	// Workers bounds the scheduler's per-study unit concurrency
+	// (0 = GOMAXPROCS). The same seed regenerates identical tables for
+	// any worker count.
+	Workers int
 }
 
 // Default returns the paper's full configuration.
@@ -55,60 +61,76 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-type studyKey struct {
-	app        string
-	threads    int
-	vectorised bool
-}
-
 // Runner runs and caches the per-configuration studies shared by several
 // experiments (Table III, Table IV, and Figure 2 all consume the same
-// studies). It is safe for concurrent use.
+// studies). Studies execute on the internal/sched worker pool, with all
+// expensive intermediates memoised in a shared result cache, and
+// concurrent Study calls for the same configuration deduplicate into one
+// execution. It is safe for concurrent use.
 type Runner struct {
-	cfg Config
-
-	mu      sync.Mutex
-	studies map[studyKey]*core.StudyResult
+	cfg   Config
+	cache *resultcache.Cache
 }
 
 // NewRunner returns a Runner for the configuration.
 func NewRunner(cfg Config) *Runner {
-	return &Runner{cfg: cfg.withDefaults(), studies: map[studyKey]*core.StudyResult{}}
+	// The cache bound comfortably covers a full sweep: 11 apps × 4 thread
+	// counts × a handful of artifacts per study.
+	return &Runner{cfg: cfg.withDefaults(), cache: resultcache.New(4096)}
 }
 
 // Config returns the runner's effective configuration.
 func (r *Runner) Config() Config { return r.cfg }
 
-// Study returns the cached cross-architecture study for one configuration,
-// running it on first use.
-func (r *Runner) Study(app string, threads int, vectorised bool) (*core.StudyResult, error) {
-	key := studyKey{app, threads, vectorised}
-	r.mu.Lock()
-	if s, ok := r.studies[key]; ok {
-		r.mu.Unlock()
-		return s, nil
-	}
-	r.mu.Unlock()
+// CacheStats reports the shared result cache's counters.
+func (r *Runner) CacheStats() resultcache.Stats { return r.cache.Stats() }
 
-	a, err := apps.ByName(app)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.RunStudy(app, a.Build, core.StudyConfig{
-		Threads:    threads,
-		Vectorised: vectorised,
-		Runs:       r.cfg.Runs,
-		Reps:       r.cfg.Reps,
-		Seed:       r.cfg.Seed ^ uint64(threads)<<32 ^ boolBit(vectorised)<<48 ^ hashName(app),
-		MaxK:       r.cfg.MaxK,
+// Study returns the cached cross-architecture study for one configuration,
+// running it on the scheduler on first use.
+func (r *Runner) Study(app string, threads int, vectorised bool) (*core.StudyResult, error) {
+	key := resultcache.NewKey("runner-study", app,
+		fmt.Sprintf("t=%d v=%v", threads, vectorised))
+	v, _, err := r.cache.Do(key, func() (any, error) {
+		a, err := apps.ByName(app)
+		if err != nil {
+			return nil, err
+		}
+		return sched.Run(context.Background(), sched.StudyRequest{
+			App:   app,
+			Build: a.Build,
+			Config: core.StudyConfig{
+				Threads:    threads,
+				Vectorised: vectorised,
+				Runs:       r.cfg.Runs,
+				Reps:       r.cfg.Reps,
+				Seed:       r.cfg.Seed ^ uint64(threads)<<32 ^ boolBit(vectorised)<<48 ^ hashName(app),
+				MaxK:       r.cfg.MaxK,
+			},
+		}, sched.Options{Workers: r.cfg.Workers, Cache: r.cache})
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: study %s/%dt/vect=%v: %w", app, threads, vectorised, err)
 	}
-	r.mu.Lock()
-	r.studies[key] = res
-	r.mu.Unlock()
-	return res, nil
+	return v.(*core.StudyResult), nil
+}
+
+// Discover runs Step 2 for one builder on the scheduler, memoising the
+// per-run barrier point sets in the runner's shared cache. Experiments
+// that re-discover overlapping configurations (the ablations sweep run
+// counts and the future-work studies reuse full-run discoveries) share
+// the underlying work.
+func (r *Runner) Discover(app string, build core.ProgramBuilder, cfg core.DiscoveryConfig) ([]core.BarrierPointSet, error) {
+	return sched.Discover(context.Background(), sched.DiscoverRequest{
+		App: app, Build: build, Config: cfg,
+	}, sched.Options{Workers: r.cfg.Workers, Cache: r.cache})
+}
+
+// Collect runs Step 3 for one builder on the scheduler, memoising the
+// collection in the runner's shared cache.
+func (r *Runner) Collect(app string, build core.ProgramBuilder, cfg core.CollectConfig) (*core.Collection, error) {
+	return sched.Collect(context.Background(), sched.CollectRequest{
+		App: app, Build: build, Config: cfg,
+	}, sched.Options{Workers: r.cfg.Workers, Cache: r.cache})
 }
 
 func boolBit(b bool) uint64 {

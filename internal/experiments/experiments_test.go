@@ -114,6 +114,9 @@ func TestFig1MPKIRises(t *testing.T) {
 }
 
 func TestHeadlineOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep")
+	}
 	var b strings.Builder
 	r := NewRunner(Config{Seed: 7, Runs: 2, Reps: 10, Threads: []int{2}})
 	if err := Headline(r, &b); err != nil {
@@ -128,6 +131,9 @@ func TestHeadlineOutput(t *testing.T) {
 }
 
 func TestLimitsOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep")
+	}
 	var b strings.Builder
 	if err := Limits(tinyRunner(), &b); err != nil {
 		t.Fatal(err)

@@ -33,14 +33,14 @@ func FutureWorkCoreTypes(r *Runner, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		sets, err := core.Discover(a.Build, core.DiscoveryConfig{
+		sets, err := r.Discover(name, a.Build, core.DiscoveryConfig{
 			Threads: threads, Runs: r.cfg.Runs, Seed: r.cfg.Seed,
 		})
 		if err != nil {
 			return err
 		}
 		for _, target := range []*machine.Machine{machine.APMXGene(), machine.ARMInOrder()} {
-			col, err := core.Collect(a.Build, core.CollectConfig{
+			col, err := r.Collect(name, a.Build, core.CollectConfig{
 				Variant: isa.Variant{ISA: isa.ARMv8()},
 				Threads: threads, Reps: r.cfg.Reps, Seed: r.cfg.Seed,
 				Machine: target,
@@ -94,13 +94,13 @@ func FutureWorkCoarsen(r *Runner, w io.Writer) error {
 	}
 	for _, factor := range []int{1, 8, 40} {
 		build := core.CoarsenBuilder(a.Build, factor)
-		sets, err := core.Discover(build, core.DiscoveryConfig{
+		sets, err := r.Discover("LULESH", build, core.DiscoveryConfig{
 			Threads: threads, Runs: r.cfg.Runs, Seed: r.cfg.Seed,
 		})
 		if err != nil {
 			return err
 		}
-		col, err := core.Collect(build, core.CollectConfig{
+		col, err := r.Collect("LULESH", build, core.CollectConfig{
 			Variant: isa.Variant{ISA: isa.X8664()},
 			Threads: threads, Reps: r.cfg.Reps, Seed: r.cfg.Seed,
 		})
@@ -151,14 +151,14 @@ func FutureWorkMultiplex(r *Runner, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sets, err := core.Discover(a.Build, core.DiscoveryConfig{
+	sets, err := r.Discover("HPCG", a.Build, core.DiscoveryConfig{
 		Threads: threads, Runs: r.cfg.Runs, Seed: r.cfg.Seed,
 	})
 	if err != nil {
 		return err
 	}
 	for _, groups := range []int{1, 2, 4} {
-		col, err := core.Collect(a.Build, core.CollectConfig{
+		col, err := r.Collect("HPCG", a.Build, core.CollectConfig{
 			Variant: isa.Variant{ISA: isa.X8664()},
 			Threads: threads, Reps: r.cfg.Reps, Seed: r.cfg.Seed,
 			MultiplexGroups: groups,
@@ -215,7 +215,7 @@ func FutureWorkRefine(r *Runner, w io.Writer) error {
 	}
 	for _, parts := range []int{1, 8, 64} {
 		build := core.RefineBuilder(a.Build, parts)
-		sets, err := core.Discover(build, core.DiscoveryConfig{
+		sets, err := r.Discover("RSBench", build, core.DiscoveryConfig{
 			Threads: threads, Runs: r.cfg.Runs, Seed: r.cfg.Seed,
 		})
 		if err != nil {
@@ -227,14 +227,14 @@ func FutureWorkRefine(r *Runner, w io.Writer) error {
 			arm *core.Validation
 		}
 		var best scored
-		x86Col, err := core.Collect(build, core.CollectConfig{
+		x86Col, err := r.Collect("RSBench", build, core.CollectConfig{
 			Variant: isa.Variant{ISA: isa.X8664()},
 			Threads: threads, Reps: r.cfg.Reps, Seed: r.cfg.Seed,
 		})
 		if err != nil {
 			return err
 		}
-		armCol, err := core.Collect(build, core.CollectConfig{
+		armCol, err := r.Collect("RSBench", build, core.CollectConfig{
 			Variant: isa.Variant{ISA: isa.ARMv8()},
 			Threads: threads, Reps: r.cfg.Reps, Seed: r.cfg.Seed,
 		})
@@ -287,7 +287,7 @@ func FutureWorkISADiff(r *Runner, w io.Writer) error {
 		for _, vect := range []bool{false, true} {
 			var vals [2]machine.Counters
 			for i, arch := range []*isa.ISA{isa.X8664(), isa.ARMv8()} {
-				col, err := core.Collect(a.Build, core.CollectConfig{
+				col, err := r.Collect(a.Name, a.Build, core.CollectConfig{
 					Variant: isa.Variant{ISA: arch, Vectorised: vect},
 					Threads: threads, Reps: 3, Seed: r.cfg.Seed,
 				})

@@ -6,6 +6,9 @@ import (
 )
 
 func TestFutureWorkQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow sweep")
+	}
 	r := NewRunner(Config{Seed: 7, Runs: 1, Reps: 10, Threads: []int{4}})
 	for _, name := range []string{"fw-coretypes", "fw-coarsen", "fw-multiplex"} {
 		e, err := ByName(name)

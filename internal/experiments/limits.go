@@ -28,7 +28,7 @@ func Limits(r *Runner, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		sets, err := core.Discover(a.Build, core.DiscoveryConfig{
+		sets, err := r.Discover(name, a.Build, core.DiscoveryConfig{
 			Threads: threads, Runs: 1, Seed: r.cfg.Seed,
 		})
 		if err != nil {
@@ -36,7 +36,7 @@ func Limits(r *Runner, w io.Writer) error {
 		}
 		set := &sets[0]
 
-		armCol, err := core.Collect(a.Build, core.CollectConfig{
+		armCol, err := r.Collect(name, a.Build, core.CollectConfig{
 			Variant: isa.Variant{ISA: isa.ARMv8()},
 			Threads: threads, Reps: 2, Seed: r.cfg.Seed,
 		})
@@ -92,7 +92,7 @@ func OverheadVariability(r *Runner, w io.Writer) error {
 			return err
 		}
 		for _, arch := range []*isa.ISA{isa.X8664(), isa.ARMv8()} {
-			col, err := core.Collect(a.Build, core.CollectConfig{
+			col, err := r.Collect(name, a.Build, core.CollectConfig{
 				Variant: isa.Variant{ISA: arch},
 				Threads: threads, Reps: r.cfg.Reps, Seed: r.cfg.Seed,
 			})

@@ -1,0 +1,205 @@
+// Package resultcache provides a content-addressed, bounded LRU cache for
+// the expensive intermediates of the BarrierPoint pipeline: signature
+// matrices and discovery baselines, per-variant Collections, and discovered
+// BarrierPointSets.
+//
+// Keys are SHA-256 hashes over a canonical description of the computation
+// (artifact kind, program fingerprint, configuration), so two studies that
+// overlap — same app and collection config, different discovery runs, say —
+// share work even when submitted by different clients. The cache is safe
+// for concurrent use and deduplicates in-flight computations: concurrent
+// requests for the same key run the computation once and share the result.
+package resultcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+)
+
+// Key is a content hash identifying one memoised computation.
+type Key string
+
+// NewKey hashes the ordered parts into a Key. Parts must fully describe
+// the computation — anything that can change the result belongs in the
+// key. Each part is length-prefixed before hashing so part boundaries are
+// unambiguous ("ab","c" never collides with "a","bc").
+func NewKey(parts ...string) Key {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(p))
+	}
+	return Key(hex.EncodeToString(h.Sum(nil)))
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	MaxSize   int    `json:"max_size"`
+}
+
+// entry is one cached value in the LRU list.
+type entry struct {
+	key Key
+	val any
+}
+
+// flight is one in-progress computation other goroutines can join.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// DefaultMaxEntries bounds a Cache constructed with New(0).
+const DefaultMaxEntries = 256
+
+// Cache is a bounded, thread-safe LRU of computation results. A nil
+// *Cache is valid and caches nothing, so call sites need not branch on
+// whether caching is enabled.
+type Cache struct {
+	mu       sync.Mutex
+	max      int
+	ll       *list.List // front = most recently used
+	items    map[Key]*list.Element
+	inflight map[Key]*flight
+
+	hits, misses, puts, evictions uint64
+}
+
+// New returns a cache bounded to maxEntries values (DefaultMaxEntries if
+// maxEntries <= 0).
+func New(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	return &Cache{
+		max:      maxEntries,
+		ll:       list.New(),
+		items:    make(map[Key]*list.Element),
+		inflight: make(map[Key]*flight),
+	}
+}
+
+// Get returns the cached value for the key, marking it most recently used.
+func (c *Cache) Get(k Key) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put stores the value, evicting the least recently used entry when the
+// bound is exceeded.
+func (c *Cache) Put(k Key, v any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(k, v)
+}
+
+// put stores the value; the caller holds c.mu.
+func (c *Cache) put(k Key, v any) {
+	c.puts++
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&entry{key: k, val: v})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Do returns the cached value for the key, computing and storing it on a
+// miss. Concurrent calls for the same key run compute once; the others
+// block and share the outcome (counted as hits — the work was not
+// repeated). Errors are returned to every waiter but never cached, so a
+// failed computation is retried by the next caller. hit reports whether
+// the value was obtained without running compute in this call.
+func (c *Cache) Do(k Key, compute func() (any, error)) (v any, hit bool, err error) {
+	if c == nil {
+		v, err = compute()
+		return v, false, err
+	}
+	c.mu.Lock()
+	if el, ok := c.items[k]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		v = el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if f, ok := c.inflight[k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, true, f.err
+	}
+	c.misses++
+	f := &flight{done: make(chan struct{})}
+	c.inflight[k] = f
+	c.mu.Unlock()
+
+	f.val, f.err = compute()
+
+	c.mu.Lock()
+	delete(c.inflight, k)
+	if f.err == nil {
+		c.put(k, f.val)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Puts:      c.puts,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		MaxSize:   c.max,
+	}
+}

@@ -1,0 +1,158 @@
+package resultcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewKeyBoundaries(t *testing.T) {
+	if NewKey("ab", "c") == NewKey("a", "bc") {
+		t.Error("part boundaries must be unambiguous")
+	}
+	if NewKey("a") == NewKey("a", "") {
+		t.Error("trailing empty part must change the key")
+	}
+	if NewKey("x", "y") != NewKey("x", "y") {
+		t.Error("keys must be deterministic")
+	}
+}
+
+func TestGetPutHitMissAccounting(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Get(NewKey("a")); ok {
+		t.Fatal("empty cache should miss")
+	}
+	c.Put(NewKey("a"), 1)
+	v, ok := c.Get(NewKey("a"))
+	if !ok || v.(int) != 1 {
+		t.Fatalf("want hit with 1, got %v %v", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 || s.Entries != 1 {
+		t.Errorf("stats wrong: %+v", s)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(2)
+	c.Put(NewKey("a"), "a")
+	c.Put(NewKey("b"), "b")
+	// Touch "a" so "b" becomes least recently used.
+	if _, ok := c.Get(NewKey("a")); !ok {
+		t.Fatal("a should be cached")
+	}
+	c.Put(NewKey("c"), "c") // evicts "b"
+	if _, ok := c.Get(NewKey("b")); ok {
+		t.Error("b should have been evicted as least recently used")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(NewKey(k)); !ok {
+			t.Errorf("%s should have survived eviction", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 2 {
+		t.Errorf("want 1 eviction and 2 entries, got %+v", s)
+	}
+}
+
+func TestPutExistingKeyUpdatesWithoutEviction(t *testing.T) {
+	c := New(2)
+	c.Put(NewKey("a"), 1)
+	c.Put(NewKey("b"), 2)
+	c.Put(NewKey("a"), 3)
+	if s := c.Stats(); s.Evictions != 0 || s.Entries != 2 {
+		t.Errorf("re-put must not evict: %+v", s)
+	}
+	if v, _ := c.Get(NewKey("a")); v.(int) != 3 {
+		t.Errorf("re-put must update the value, got %v", v)
+	}
+}
+
+func TestDoComputesOnceAndCaches(t *testing.T) {
+	c := New(4)
+	var calls int
+	for i := 0; i < 3; i++ {
+		v, hit, err := c.Do(NewKey("k"), func() (any, error) {
+			calls++
+			return 42, nil
+		})
+		if err != nil || v.(int) != 42 {
+			t.Fatalf("Do: %v %v", v, err)
+		}
+		if wantHit := i > 0; hit != wantHit {
+			t.Errorf("call %d: hit = %v, want %v", i, hit, wantHit)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New(4)
+	boom := errors.New("boom")
+	if _, _, err := c.Do(NewKey("k"), func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	v, hit, err := c.Do(NewKey("k"), func() (any, error) { return "ok", nil })
+	if err != nil || hit || v.(string) != "ok" {
+		t.Errorf("failed computation must be retried: %v %v %v", v, hit, err)
+	}
+}
+
+func TestDoDeduplicatesConcurrentComputations(t *testing.T) {
+	c := New(4)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.Do(NewKey("k"), func() (any, error) {
+				calls.Add(1)
+				<-release
+				return "v", nil
+			})
+			if err != nil || v.(string) != "v" {
+				t.Errorf("Do: %v %v", v, err)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Errorf("concurrent Do ran compute %d times, want 1", n)
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache
+	c.Put(NewKey("a"), 1)
+	if _, ok := c.Get(NewKey("a")); ok {
+		t.Error("nil cache must not hit")
+	}
+	v, hit, err := c.Do(NewKey("a"), func() (any, error) { return 7, nil })
+	if err != nil || hit || v.(int) != 7 {
+		t.Errorf("nil cache Do must compute: %v %v %v", v, hit, err)
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Errorf("nil cache stats must be zero: %+v", s)
+	}
+	if c.Len() != 0 {
+		t.Error("nil cache length must be zero")
+	}
+}
+
+func TestDefaultBound(t *testing.T) {
+	c := New(0)
+	for i := 0; i < DefaultMaxEntries+10; i++ {
+		c.Put(NewKey(fmt.Sprint(i)), i)
+	}
+	if n := c.Len(); n != DefaultMaxEntries {
+		t.Errorf("default bound not enforced: %d entries", n)
+	}
+}

@@ -1,0 +1,310 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+
+	"barrierpoint/internal/core"
+	"barrierpoint/internal/isa"
+	"barrierpoint/internal/machine"
+	"barrierpoint/internal/resultcache"
+)
+
+// StudyRequest names one study execution: a workload, its builder, and
+// the study configuration.
+type StudyRequest struct {
+	App    string
+	Build  core.ProgramBuilder
+	Config core.StudyConfig
+}
+
+// DiscoverRequest names one discovery execution (Step 2 only).
+type DiscoverRequest struct {
+	App    string
+	Build  core.ProgramBuilder
+	Config core.DiscoveryConfig
+}
+
+// CollectRequest names one native collection execution (Step 3 only).
+type CollectRequest struct {
+	App    string
+	Build  core.ProgramBuilder
+	Config core.CollectConfig
+}
+
+// baselineArtifact is the cached outcome of the canonical discovery run.
+type baselineArtifact struct {
+	set  core.BarrierPointSet
+	base *core.LDVBaseline
+}
+
+// fingerprint content-addresses a workload for one binary variant: a hash
+// of the app name and the program's structural content. Keying on
+// program content (not just the name) keeps two different custom builders
+// registered under the same name from aliasing in the cache, and keying
+// per variant matters for workloads whose program depends on the
+// architecture (HPGMG-FV). Building a program is cheap relative to
+// simulating it.
+func fingerprint(app string, build core.ProgramBuilder, threads int, v isa.Variant) (string, error) {
+	prog, err := build(threads, v)
+	if err != nil {
+		return "", fmt.Errorf("sched: fingerprinting %s (%s): %w", app, v, err)
+	}
+	return string(resultcache.NewKey(app, prog.Fingerprint())), nil
+}
+
+// discKey addresses one discovery run. cfg.Runs is deliberately zeroed:
+// an individual run's outcome does not depend on how many sibling runs a
+// caller asked for, so a 10-run discovery shares all its units with an
+// earlier 3-run one.
+func discKey(kind, fp string, cfg core.DiscoveryConfig, run int) resultcache.Key {
+	cfg.Runs = 0
+	return resultcache.NewKey(kind, fp, fmt.Sprintf("%#v run=%d", cfg, run))
+}
+
+// Run executes the full Section V workflow for one workload on the worker
+// pool. It runs the same per-unit primitives as core.RunStudy — the
+// canonical discovery run, the jittered re-runs, both native collections,
+// and the per-set validations — but fans the independent units out across
+// opts.Workers goroutines and memoises intermediates in opts.Cache.
+// Results are assembled in unit order, so the same request yields a
+// byte-identical *core.StudyResult for any worker count.
+func Run(ctx context.Context, req StudyRequest, opts Options) (*core.StudyResult, error) {
+	if req.Build == nil {
+		return nil, fmt.Errorf("sched: study %s has no program builder", req.App)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := req.Config.WithDefaults()
+	cache := opts.Cache
+	discCfg := cfg.Discovery()
+	colCfgs := cfg.Collections()
+
+	// The whole-study key covers the program content for both collection
+	// variants: workloads like HPGMG-FV build different programs per ISA.
+	// The two fingerprints are reused by the discovery and collection
+	// units below (the discovery variant equals the x86_64 collection
+	// variant), so each program is built once for keying.
+	var studyKey resultcache.Key
+	var fpX86, fpARM string
+	if cache != nil {
+		var err error
+		if fpX86, err = fingerprint(req.App, req.Build, cfg.Threads, colCfgs[0].Variant); err != nil {
+			return nil, err
+		}
+		if fpARM, err = fingerprint(req.App, req.Build, cfg.Threads, colCfgs[1].Variant); err != nil {
+			return nil, err
+		}
+		studyKey = resultcache.NewKey("study", fpX86, fpARM, fmt.Sprintf("%#v", cfg))
+		if v, ok := cache.Get(studyKey); ok {
+			return v.(*core.StudyResult), nil
+		}
+	}
+
+	// The study runs as flat stages so at most `workers` units are ever
+	// in flight (nesting fan-outs would transiently exceed the bound).
+	// Stage 1: the canonical baseline discovery run and the two native
+	// collections are mutually independent. Stage 2: the jittered
+	// discovery runs, which need only the baseline's LDVs.
+	sets := make([]core.BarrierPointSet, cfg.Runs)
+	cols := make([]*core.Collection, len(colCfgs))
+	workers := opts.workers()
+
+	var base *core.LDVBaseline
+	top := []func(ctx context.Context) error{
+		func(ctx context.Context) error {
+			art, err := discoverBaseline(req.App, req.Build, discCfg, fpX86, cache)
+			if err != nil {
+				return err
+			}
+			sets[0], base = art.set, art.base
+			return nil
+		},
+		func(ctx context.Context) error {
+			col, err := runCollect(req.App, req.Build, colCfgs[0], fpX86, cache)
+			if err != nil {
+				return fmt.Errorf("sched: study %s x86_64 collection: %w", req.App, err)
+			}
+			cols[0] = col
+			return nil
+		},
+		func(ctx context.Context) error {
+			col, err := runCollect(req.App, req.Build, colCfgs[1], fpARM, cache)
+			if err != nil {
+				return fmt.Errorf("sched: study %s ARMv8 collection: %w", req.App, err)
+			}
+			cols[1] = col
+			return nil
+		},
+	}
+	if err := ForEach(ctx, len(top), workers, func(ctx context.Context, i int) error {
+		return top[i](ctx)
+	}); err != nil {
+		return nil, err
+	}
+	if err := discoverJittered(ctx, req.App, req.Build, discCfg, fpX86, cache, workers, sets, base); err != nil {
+		return nil, err
+	}
+
+	// Step 4+5: every discovered set validates independently against the
+	// two collections.
+	evals := make([]core.SetEvaluation, len(sets))
+	err := ForEach(ctx, len(sets), workers, func(ctx context.Context, i int) error {
+		eval, err := core.EvaluateSet(req.App, i, &sets[i], cols[0], cols[1])
+		if err != nil {
+			return err
+		}
+		evals[i] = eval
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := core.AssembleStudy(req.App, cfg, evals, cols[0], cols[1])
+	if cache != nil {
+		cache.Put(studyKey, res)
+	}
+	return res, nil
+}
+
+// Discover runs (or recalls) Step 2 on the worker pool: the canonical
+// baseline run, then the jittered runs fanned out with bounded
+// concurrency. Results are in discovery-run order and byte-identical to
+// core.Discover's for any worker count.
+func Discover(ctx context.Context, req DiscoverRequest, opts Options) ([]core.BarrierPointSet, error) {
+	if req.Build == nil {
+		return nil, fmt.Errorf("sched: discovery for %s has no program builder", req.App)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := req.Config.WithDefaults()
+	sets := make([]core.BarrierPointSet, cfg.Runs)
+	if err := runDiscovery(ctx, req.App, req.Build, cfg, "", opts.Cache, opts.workers(), sets); err != nil {
+		return nil, err
+	}
+	return sets, nil
+}
+
+// Collect runs (or recalls) one native counter collection (Step 3).
+func Collect(ctx context.Context, req CollectRequest, opts Options) (*core.Collection, error) {
+	if req.Build == nil {
+		return nil, fmt.Errorf("sched: collection for %s has no program builder", req.App)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return runCollect(req.App, req.Build, req.Config, "", opts.Cache)
+}
+
+// runDiscovery executes the discovery stage: the canonical baseline run
+// first (it produces the LDV baseline every jittered run reuses), then
+// the cfg.Runs-1 jittered runs fanned out over the pool. Sets land in
+// sets[run], preserving discovery-run order. An empty fp means the
+// caller has not fingerprinted the program yet.
+func runDiscovery(ctx context.Context, app string, build core.ProgramBuilder, cfg core.DiscoveryConfig, fp string, cache *resultcache.Cache, workers int, sets []core.BarrierPointSet) error {
+	if cache != nil && fp == "" {
+		var err error
+		fp, err = fingerprint(app, build, cfg.Threads,
+			isa.Variant{ISA: isa.X8664(), Vectorised: cfg.Vectorised})
+		if err != nil {
+			return err
+		}
+	}
+	art, err := discoverBaseline(app, build, cfg, fp, cache)
+	if err != nil {
+		return err
+	}
+	sets[0] = art.set
+	return discoverJittered(ctx, app, build, cfg, fp, cache, workers, sets, art.base)
+}
+
+// discoverBaseline runs (or recalls) the canonical discovery run.
+func discoverBaseline(app string, build core.ProgramBuilder, cfg core.DiscoveryConfig, fp string, cache *resultcache.Cache) (baselineArtifact, error) {
+	// Keys use the normalised configuration so a zero field and its
+	// explicit default address the same computation.
+	keyCfg := cfg.WithDefaults()
+	v, _, err := cache.Do(discKey("discover", fp, keyCfg, 0), func() (any, error) {
+		set, base, err := core.DiscoverBaseline(build, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return baselineArtifact{set: set, base: base}, nil
+	})
+	if err != nil {
+		return baselineArtifact{}, fmt.Errorf("sched: study %s: %w", app, err)
+	}
+	return v.(baselineArtifact), nil
+}
+
+// discoverJittered fans the runs ≥ 1 out over the pool, reusing the
+// canonical run's LDV baseline. Sets land in sets[run].
+func discoverJittered(ctx context.Context, app string, build core.ProgramBuilder, cfg core.DiscoveryConfig, fp string, cache *resultcache.Cache, workers int, sets []core.BarrierPointSet, base *core.LDVBaseline) error {
+	keyCfg := cfg.WithDefaults()
+	return ForEach(ctx, len(sets)-1, workers, func(ctx context.Context, i int) error {
+		run := i + 1
+		v, _, err := cache.Do(discKey("discover", fp, keyCfg, run), func() (any, error) {
+			return core.DiscoverJittered(build, cfg, run, base)
+		})
+		if err != nil {
+			return fmt.Errorf("sched: study %s: %w", app, err)
+		}
+		sets[run] = v.(core.BarrierPointSet)
+		return nil
+	})
+}
+
+// machineKeyPart renders a Machine override by value for cache keying.
+// Machine's ISA and CPU fields are pointers to pure-value structs, so
+// they are dereferenced into the text; keying by name alone would alias
+// two same-named machines with tweaked parameters.
+func machineKeyPart(m *machine.Machine) string {
+	if m == nil {
+		return ""
+	}
+	mm := *m
+	mm.ISA, mm.CPU = nil, nil
+	return fmt.Sprintf("%+v isa=%+v cpu=%+v", mm, *m.ISA, *m.CPU)
+}
+
+// runCollect runs (or recalls) one native counter collection. The cache
+// key spells the fields out rather than hashing the whole struct because
+// CollectConfig carries pointer overrides (Overhead, Machine) that need
+// to be keyed by value.
+func runCollect(app string, build core.ProgramBuilder, cfg core.CollectConfig, fp string, cache *resultcache.Cache) (*core.Collection, error) {
+	if cfg.Variant.ISA == nil {
+		// Matches core.Collect's validation; checked here first because
+		// the cache key renders the variant.
+		return nil, fmt.Errorf("core: collection needs a binary variant")
+	}
+	if cache != nil && fp == "" {
+		var err error
+		fp, err = fingerprint(app, build, cfg.Threads, cfg.Variant)
+		if err != nil {
+			return nil, err
+		}
+	}
+	keyCfg := cfg.WithDefaults()
+	// 0 and 1 multiplex groups both mean "multiplexing disabled" in papi,
+	// so they share a key.
+	mux := keyCfg.MultiplexGroups
+	if mux <= 1 {
+		mux = 0
+	}
+	overhead := ""
+	if cfg.Overhead != nil {
+		overhead = fmt.Sprintf("%+v", *cfg.Overhead)
+	}
+	key := resultcache.NewKey("collection", fp, cfg.Variant.String(),
+		fmt.Sprintf("t=%d r=%d s=%d mux=%d", keyCfg.Threads, keyCfg.Reps, keyCfg.Seed, mux),
+		machineKeyPart(cfg.Machine), overhead)
+	v, _, err := cache.Do(key, func() (any, error) {
+		return core.Collect(build, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Collection), nil
+}

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"fmt"
+	"io"
+
+	"barrierpoint/internal/core"
+	"barrierpoint/internal/machine"
+	"barrierpoint/internal/report"
+)
+
+// renderReport writes a finished study as the paper-style plain-text
+// tables of internal/report: one row per discovery run with both
+// validations, then the best set's selected barrier points.
+func renderReport(w io.Writer, res *core.StudyResult) {
+	cfg := res.Config
+	fmt.Fprintf(w, "BarrierPoint study: %s — %d threads, vectorised=%v, %d discovery runs, %d reps, seed %d\n",
+		res.App, cfg.Threads, cfg.Vectorised, cfg.Runs, cfg.Reps, cfg.Seed)
+	fmt.Fprintf(w, "Barrier points in x86_64 execution: %d\n", res.TotalBPs)
+	if res.Applicability.OK {
+		fmt.Fprintf(w, "Applicability: OK\n\n")
+	} else {
+		fmt.Fprintf(w, "Applicability: limited — %s\n\n", res.Applicability.Reason)
+	}
+
+	// The marker stays ASCII: report.Table pads by byte length, so a
+	// multi-byte rune would skew the column.
+	runs := report.Table{
+		Title: "Discovery runs (* = lowest combined error)",
+		Header: []string{"Run", "Sel.", "Instr %", "Largest %", "Speedup",
+			"x86 cyc%", "x86 inst%", "x86 L1D%", "x86 L2D%",
+			"ARM cyc%", "ARM inst%", "ARM L1D%", "ARM L2D%"},
+	}
+	for i := range res.Evals {
+		e := &res.Evals[i]
+		mark := ""
+		if i == res.Best {
+			mark = " *"
+		}
+		row := []string{
+			fmt.Sprintf("%d%s", e.Set.Run, mark),
+			fmt.Sprint(len(e.Set.Selected)),
+			report.Pct(e.Set.InstructionsSelectedPct()),
+			report.Pct(e.Set.LargestBPPct()),
+			report.F1(e.Set.Speedup()) + "x",
+		}
+		row = append(row, validationCells(e.X86)...)
+		if e.ARM != nil {
+			row = append(row, validationCells(e.ARM)...)
+		} else {
+			row = append(row, "n/a", "n/a", "n/a", "n/a")
+		}
+		runs.AddRow(row...)
+	}
+	if best := res.BestEval(); best.ARMErr != nil {
+		runs.Notes = append(runs.Notes, "ARMv8: "+best.ARMErr.Error())
+	}
+	runs.Render(w)
+
+	best := res.BestEval()
+	sel := report.Table{
+		Title:  fmt.Sprintf("Best set (discovery run %d): selected barrier points", best.Set.Run),
+		Header: []string{"Index", "Multiplier", "Instr %"},
+	}
+	for _, p := range best.Set.Selected {
+		pct := 0.0
+		if best.Set.TotalInstructions > 0 {
+			pct = p.Instructions / best.Set.TotalInstructions * 100
+		}
+		sel.AddRow(fmt.Sprint(p.Index), report.F1(p.Multiplier), report.Pct(pct))
+	}
+	sel.Render(w)
+}
+
+// validationCells formats one validation's per-metric errors in the
+// paper's metric order.
+func validationCells(v *core.Validation) []string {
+	cells := make([]string, 0, machine.NumMetrics)
+	for m := machine.Metric(0); m < machine.NumMetrics; m++ {
+		cells = append(cells, report.Pct(v.AvgAbsErrPct[m]))
+	}
+	return cells
+}

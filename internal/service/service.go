@@ -1,0 +1,432 @@
+// Package service exposes the study-execution subsystem over HTTP.
+//
+// A Server queues study submissions onto the internal/sched worker pool,
+// tracks each job through queued → running → done/failed, and renders
+// finished studies via internal/report. The API is JSON:
+//
+//	POST /studies             submit a study        → 202 + job status
+//	GET  /studies             list all jobs         → 200 + statuses
+//	GET  /studies/{id}        poll one job          → 200 + job status
+//	GET  /studies/{id}/report render a finished job → 200 text/plain
+//	GET  /healthz             liveness + counters   → 200 + health
+//
+// Studies are memoised through the server's resultcache, so repeated or
+// overlapping submissions skip recomputation; /healthz reports the hit
+// and miss counters.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"barrierpoint/internal/apps"
+	"barrierpoint/internal/core"
+	"barrierpoint/internal/resultcache"
+	"barrierpoint/internal/sched"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job states, in lifecycle order.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// SubmitRequest is the POST /studies body. App must name one of the
+// Table I applications; zero-valued tuning fields take the paper's
+// defaults (10 runs, 20 reps).
+type SubmitRequest struct {
+	App        string `json:"app"`
+	Threads    int    `json:"threads"`
+	Vectorised bool   `json:"vectorised"`
+	Runs       int    `json:"runs,omitempty"`
+	Reps       int    `json:"reps,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
+	MaxK       int    `json:"max_k,omitempty"`
+}
+
+// JobStatus is the wire representation of one job.
+type JobStatus struct {
+	ID      string        `json:"id"`
+	State   State         `json:"state"`
+	Request SubmitRequest `json:"request"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	// Error explains a failed job.
+	Error string `json:"error,omitempty"`
+	// Summary digests a finished study.
+	Summary *core.Summary `json:"summary,omitempty"`
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	Status  string            `json:"status"`
+	Workers int               `json:"workers"`
+	Jobs    map[State]int     `json:"jobs"`
+	Cache   resultcache.Stats `json:"cache"`
+}
+
+// job is the server-side record behind a JobStatus.
+type job struct {
+	mu     sync.Mutex
+	status JobStatus
+	result *core.StudyResult
+}
+
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+func (j *job) setID(id string) {
+	j.mu.Lock()
+	j.status.ID = id
+	j.mu.Unlock()
+}
+
+// Config sizes a Server.
+type Config struct {
+	// Workers bounds per-study unit concurrency (sched.Options.Workers);
+	// <= 0 means GOMAXPROCS.
+	Workers int
+	// Executors is how many studies run concurrently (default 2). Total
+	// parallelism is roughly Executors × Workers.
+	Executors int
+	// QueueDepth bounds the submission queue (default 64); a full queue
+	// rejects submissions with 503.
+	QueueDepth int
+	// CacheSize bounds the result cache in entries
+	// (default resultcache.DefaultMaxEntries).
+	CacheSize int
+	// MaxJobs bounds how many job records are retained (default 1024).
+	// When exceeded, the oldest finished jobs are pruned; queued and
+	// running jobs are never dropped.
+	MaxJobs int
+	// Now overrides the clock, for tests. Defaults to time.Now.
+	Now func() time.Time
+}
+
+// Submission sanity bounds. The paper's configurations are 10 runs and
+// 20 reps; these caps leave generous experimentation headroom while
+// keeping a single request from exhausting the process (a huge Runs
+// allocates a slice per run and a huge Reps multiplies simulation work).
+const (
+	MaxRuns    = 1000
+	MaxReps    = 10000
+	MaxThreads = 1024
+	MaxMaxK    = 1000
+)
+
+// Server queues, executes, and reports studies. Create with New, expose
+// with Handler, stop with Close.
+type Server struct {
+	opts  sched.Options
+	cache *resultcache.Cache
+	now   func() time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	queue  chan *job
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string
+	nextID  int
+	maxJobs int
+}
+
+// New starts a Server with cfg's sizing.
+func New(cfg Config) *Server {
+	if cfg.Executors <= 0 {
+		cfg.Executors = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:   sched.Options{Workers: cfg.Workers},
+		cache:  resultcache.New(cfg.CacheSize),
+		now:    cfg.Now,
+		ctx:    ctx,
+		cancel: cancel,
+		queue:  make(chan *job, cfg.QueueDepth),
+		jobs:   make(map[string]*job),
+	}
+	s.maxJobs = cfg.MaxJobs
+	s.opts.Cache = s.cache
+	for i := 0; i < cfg.Executors; i++ {
+		s.wg.Add(1)
+		go s.execute()
+	}
+	return s
+}
+
+// Close stops the executors. Queued jobs that have not started are marked
+// failed; the call returns once all executors exit.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+drain:
+	for {
+		select {
+		case j := <-s.queue:
+			j.fail(s.now(), context.Canceled)
+		default:
+			break drain
+		}
+	}
+}
+
+// execute is one executor goroutine: it drains the queue until Close.
+func (s *Server) execute() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob drives one job through running → done/failed.
+func (s *Server) runJob(j *job) {
+	started := s.now()
+	j.mu.Lock()
+	j.status.State = StateRunning
+	j.status.StartedAt = &started
+	req := j.status.Request
+	j.mu.Unlock()
+
+	a, err := apps.ByName(req.App)
+	if err != nil {
+		j.fail(s.now(), err)
+		return
+	}
+	res, err := sched.Run(s.ctx, sched.StudyRequest{
+		App:   a.Name,
+		Build: a.Build,
+		Config: core.StudyConfig{
+			Threads:    req.Threads,
+			Vectorised: req.Vectorised,
+			Runs:       req.Runs,
+			Reps:       req.Reps,
+			Seed:       req.Seed,
+			MaxK:       req.MaxK,
+		},
+	}, s.opts)
+	if err != nil {
+		j.fail(s.now(), err)
+		return
+	}
+	finished := s.now()
+	summary := res.Summarise()
+	j.mu.Lock()
+	j.status.State = StateDone
+	j.status.FinishedAt = &finished
+	j.status.Summary = &summary
+	j.result = res
+	j.mu.Unlock()
+}
+
+func (j *job) fail(at time.Time, err error) {
+	j.mu.Lock()
+	j.status.State = StateFailed
+	j.status.FinishedAt = &at
+	j.status.Error = err.Error()
+	j.mu.Unlock()
+}
+
+// submit validates and enqueues one study, returning its initial status.
+func (s *Server) submit(req SubmitRequest) (JobStatus, int, error) {
+	if _, err := apps.ByName(req.App); err != nil {
+		return JobStatus{}, http.StatusBadRequest, err
+	}
+	if req.Threads <= 0 || req.Threads > MaxThreads {
+		return JobStatus{}, http.StatusBadRequest,
+			fmt.Errorf("service: threads must be in [1, %d], got %d", MaxThreads, req.Threads)
+	}
+	for _, lim := range []struct {
+		name string
+		v    int
+		max  int
+	}{
+		{"runs", req.Runs, MaxRuns},
+		{"reps", req.Reps, MaxReps},
+		{"max_k", req.MaxK, MaxMaxK},
+	} {
+		if lim.v < 0 || lim.v > lim.max {
+			return JobStatus{}, http.StatusBadRequest,
+				fmt.Errorf("service: %s must be in [0, %d], got %d", lim.name, lim.max, lim.v)
+		}
+	}
+
+	j := &job{status: JobStatus{
+		State:       StateQueued,
+		Request:     req,
+		SubmittedAt: s.now(),
+	}}
+	// Enqueue before registering: a rejected submission must not leave a
+	// phantom failed job behind (retry storms against a full queue would
+	// otherwise flood the job list and prune real finished studies).
+	select {
+	case s.queue <- j:
+	default:
+		return JobStatus{}, http.StatusServiceUnavailable,
+			fmt.Errorf("service: submission queue full (%d pending)", cap(s.queue))
+	}
+	s.mu.Lock()
+	s.nextID++
+	j.setID(fmt.Sprintf("s-%06d", s.nextID))
+	s.jobs[j.status.ID] = j
+	s.order = append(s.order, j.status.ID)
+	s.pruneJobs()
+	s.mu.Unlock()
+	return j.snapshot(), http.StatusAccepted, nil
+}
+
+// pruneJobs drops the oldest finished jobs once the retention bound is
+// exceeded, so a long-running server does not accumulate StudyResults
+// without limit. The caller holds s.mu. Queued and running jobs are kept
+// even beyond the bound (the queue depth caps how many those can be).
+func (s *Server) pruneJobs() {
+	excess := len(s.order) - s.maxJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		st := s.jobs[id].snapshot().State
+		if excess > 0 && (st == StateDone || st == StateFailed) {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// lookup returns the job for an ID.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /studies", s.handleSubmit)
+	mux.HandleFunc("GET /studies", s.handleList)
+	mux.HandleFunc("GET /studies/{id}", s.handleStatus)
+	mux.HandleFunc("GET /studies/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: decoding submission: %w", err))
+		return
+	}
+	status, code, err := s.submit(req)
+	if err != nil {
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, code, status)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	statuses := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		statuses = append(statuses, s.jobs[id].snapshot())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown study %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown study %q", r.PathValue("id")))
+		return
+	}
+	j.mu.Lock()
+	state, res := j.status.State, j.result
+	j.mu.Unlock()
+	if state != StateDone {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("service: study %s is %s, report needs %s", j.snapshot().ID, state, StateDone))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	renderReport(w, res)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	counts := map[State]int{StateQueued: 0, StateRunning: 0, StateDone: 0, StateFailed: 0}
+	s.mu.Lock()
+	for _, id := range s.order {
+		counts[s.jobs[id].snapshot().State]++
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, Health{
+		Status:  "ok",
+		Workers: s.opts.Workers,
+		Jobs:    counts,
+		Cache:   s.cache.Stats(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Fingerprint returns a content hash of the program's structure: blocks
+// with their operation mixes and access patterns, data regions, and the
+// region sequence with its work schedule. Two programs with the same
+// fingerprint generate identical traces, so the hash content-addresses
+// every derived artifact (signatures, collections, studies). Unlike
+// Describe it does not compile or count anything, so it stays cheap for
+// programs with thousands of regions.
+func (p *Program) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "program %q\n", p.Name)
+	for _, d := range p.Data {
+		fmt.Fprintf(h, "data %d %q lines=%d\n", d.ID, d.Name, d.Lines)
+	}
+	for _, b := range p.Blocks {
+		fmt.Fprintf(h, "block %d %q mix=%+v vec=%v lpi=%g pat=%d data=%d stride=%d\n",
+			b.ID, b.Name, b.Mix, b.Vectorisable, b.LinesPerIter, int(b.Pattern), b.Data.ID, b.StrideLines)
+	}
+	for _, r := range p.Regions {
+		fmt.Fprintf(h, "region %d %q\n", r.Index, r.Name)
+		for _, w := range r.Work {
+			fmt.Fprintf(h, "  work block=%d trips=%d off=%d ws=%d\n",
+				w.Block.ID, w.Trips, w.Offset, w.WSLines)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
