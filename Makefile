@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test-short test bench
+.PHONY: ci fmt-check vet build test-short test test-race bench
 
-# ci is the tier-1 gate: formatting, static checks, build, fast tests.
-ci: fmt-check vet build test-short
+# ci is the tier-1 gate: formatting, static checks, build, fast tests,
+# and the race detector over the concurrent subsystems.
+ci: fmt-check vet build test-short test-race
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -22,6 +23,12 @@ test-short:
 # test runs everything, including the full experiment smoke sweeps.
 test:
 	$(GO) test ./...
+
+# test-race gates the concurrency-heavy packages (scheduler fan-out,
+# in-flight result cache, job queue/cancel/Close interleavings) under the
+# race detector.
+test-race:
+	$(GO) test -race ./internal/sched/... ./internal/resultcache/... ./internal/service/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

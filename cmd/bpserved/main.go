@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	bpserved -addr :8080 -workers 8 -executors 2 -cache 256
+//	bpserved -addr :8080 -workers 8 -executors 2 -cache 256 -priority 0
 //
 //	curl -s -X POST localhost:8080/studies \
-//	     -d '{"app":"MCB","threads":8,"runs":10,"reps":20,"seed":2017}'
-//	curl -s localhost:8080/studies/s-000001
+//	     -d '{"app":"MCB","threads":8,"runs":10,"reps":20,"seed":2017,"priority":5}'
+//	curl -s localhost:8080/studies/s-000001            # live progress while running
+//	curl -s -X DELETE localhost:8080/studies/s-000001  # cancel
 //	curl -s localhost:8080/studies/s-000001/report
 //	curl -s localhost:8080/healthz
 package main
@@ -33,14 +34,17 @@ func main() {
 		executors = flag.Int("executors", 2, "studies running concurrently")
 		queue     = flag.Int("queue", 64, "submission queue depth")
 		cacheSize = flag.Int("cache", 256, "result cache entries")
+		priority  = flag.Int("priority", 0,
+			fmt.Sprintf("default priority band for submissions that omit one (higher starts first, ±%d)", service.MaxPriority))
 	)
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		Workers:    *workers,
-		Executors:  *executors,
-		QueueDepth: *queue,
-		CacheSize:  *cacheSize,
+		Workers:         *workers,
+		Executors:       *executors,
+		QueueDepth:      *queue,
+		CacheSize:       *cacheSize,
+		DefaultPriority: *priority,
 	})
 	defer svc.Close()
 

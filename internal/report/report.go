@@ -128,6 +128,28 @@ func (f *Figure) Render(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
+// ProgressLine renders a done/total unit count as a fixed-width (20
+// character) ASCII progress bar, e.g.
+// `[##########..........] 12/24 (50.0%)`. It is used for running
+// jobs in the study service. A zero or negative total renders an empty
+// bar with an unknown percentage, and done is clamped to [0, total].
+func ProgressLine(done, total int) string {
+	const width = 20
+	if total <= 0 {
+		return fmt.Sprintf("[%s] 0/? (?%%)", strings.Repeat(".", width))
+	}
+	if done < 0 {
+		done = 0
+	}
+	if done > total {
+		done = total
+	}
+	filled := done * width / total
+	return fmt.Sprintf("[%s%s] %d/%d (%.1f%%)",
+		strings.Repeat("#", filled), strings.Repeat(".", width-filled),
+		done, total, float64(done)/float64(total)*100)
+}
+
 // Pct formats a percentage with two decimals.
 func Pct(v float64) string { return fmt.Sprintf("%.2f", v) }
 

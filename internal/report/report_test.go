@@ -96,6 +96,27 @@ func TestFigureRaggedSeries(t *testing.T) {
 	}
 }
 
+func TestProgressLine(t *testing.T) {
+	for _, tc := range []struct {
+		done, total int
+		want        string
+	}{
+		{0, 10, "[....................] 0/10 (0.0%)"},
+		{5, 10, "[##########..........] 5/10 (50.0%)"},
+		{10, 10, "[####################] 10/10 (100.0%)"},
+		{7, 22, "[######..............] 7/22 (31.8%)"},
+		// Defensive clamps: out-of-range inputs must not panic or
+		// produce a bar wider than its frame.
+		{-3, 10, "[....................] 0/10 (0.0%)"},
+		{15, 10, "[####################] 10/10 (100.0%)"},
+		{3, 0, "[....................] 0/? (?%)"},
+	} {
+		if got := ProgressLine(tc.done, tc.total); got != tc.want {
+			t.Errorf("ProgressLine(%d, %d) = %q, want %q", tc.done, tc.total, got, tc.want)
+		}
+	}
+}
+
 func TestFormatters(t *testing.T) {
 	if Pct(1.234) != "1.23" {
 		t.Errorf("Pct = %s", Pct(1.234))

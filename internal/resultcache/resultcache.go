@@ -16,6 +16,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 	"sync"
 )
 
@@ -141,6 +142,11 @@ func (c *Cache) put(k Key, v any) {
 // repeated). Errors are returned to every waiter but never cached, so a
 // failed computation is retried by the next caller. hit reports whether
 // the value was obtained without running compute in this call.
+//
+// If compute panics (or exits its goroutine without returning, e.g. via
+// runtime.Goexit), the in-flight entry is removed and every waiter fails
+// with an error naming the key; the panic then propagates to the caller
+// that ran compute. Nothing is cached, so the next Do retries.
 func (c *Cache) Do(k Key, compute func() (any, error)) (v any, hit bool, err error) {
 	if c == nil {
 		v, err = compute()
@@ -165,7 +171,30 @@ func (c *Cache) Do(k Key, compute func() (any, error)) (v any, hit bool, err err
 	c.inflight[k] = f
 	c.mu.Unlock()
 
+	// The flight must be resolved on every exit path: if compute panics
+	// and f.done is never closed, all current and future callers for this
+	// key block forever on the leaked in-flight entry.
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		r := recover()
+		c.mu.Lock()
+		delete(c.inflight, k)
+		c.mu.Unlock()
+		if r != nil {
+			f.err = fmt.Errorf("resultcache: computation for key %s panicked: %v", k, r)
+		} else {
+			f.err = fmt.Errorf("resultcache: computation for key %s exited without returning", k)
+		}
+		close(f.done)
+		if r != nil {
+			panic(r)
+		}
+	}()
 	f.val, f.err = compute()
+	completed = true
 
 	c.mu.Lock()
 	delete(c.inflight, k)

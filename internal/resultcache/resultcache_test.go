@@ -3,9 +3,12 @@ package resultcache
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestNewKeyBoundaries(t *testing.T) {
@@ -126,6 +129,90 @@ func TestDoDeduplicatesConcurrentComputations(t *testing.T) {
 	wg.Wait()
 	if n := calls.Load(); n != 1 {
 		t.Errorf("concurrent Do ran compute %d times, want 1", n)
+	}
+}
+
+// TestDoPanicPropagatesAndFailsWaiters pins the panic path: a panicking
+// compute must re-panic in its own caller, fail (not hang) every waiter
+// that joined the flight, cache nothing, and leave the key retryable. A
+// leaked in-flight entry here would block all later Do calls forever.
+func TestDoPanicPropagatesAndFailsWaiters(t *testing.T) {
+	c := New(4)
+	k := NewKey("k")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	waiterErr := make(chan error, 1)
+	go func() {
+		<-entered
+		_, _, err := c.Do(k, func() (any, error) { return "waiter computed", nil })
+		waiterErr <- err
+	}()
+
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		c.Do(k, func() (any, error) {
+			close(entered)
+			<-release
+			panic("boom")
+		})
+	}()
+
+	// Give the waiter a moment to join the in-flight entry, then let the
+	// computation blow up.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	if r := <-panicked; r != "boom" {
+		t.Fatalf("panic value not propagated to the computing caller: %v", r)
+	}
+	select {
+	case err := <-waiterErr:
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Errorf("waiter should fail with a panic error, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still blocked after compute panicked: in-flight entry leaked")
+	}
+
+	// The key must be fully retryable: nothing cached, no stale flight.
+	v, hit, err := c.Do(k, func() (any, error) { return "ok", nil })
+	if err != nil || hit || v.(string) != "ok" {
+		t.Errorf("key not retryable after panic: %v %v %v", v, hit, err)
+	}
+}
+
+// TestDoGoexitFailsWaiters covers the other way compute can vanish
+// without returning: runtime.Goexit (what t.Fatal uses).
+func TestDoGoexitFailsWaiters(t *testing.T) {
+	c := New(4)
+	k := NewKey("goexit")
+	entered := make(chan struct{})
+	go func() {
+		c.Do(k, func() (any, error) {
+			close(entered)
+			runtime.Goexit()
+			return nil, nil
+		})
+	}()
+	<-entered
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(k, func() (any, error) { return "retry", nil })
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		// Either the retry computed fresh (flight already cleaned up) or
+		// it joined the dying flight and got its error; both are fine —
+		// blocking forever is the bug.
+		if err != nil && !strings.Contains(err.Error(), "exited without returning") {
+			t.Errorf("unexpected error after Goexit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do blocked forever after compute called runtime.Goexit")
 	}
 }
 

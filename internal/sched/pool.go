@@ -26,6 +26,58 @@ type Options struct {
 	// Cache memoises discovery baselines, barrier point sets, collections
 	// and whole studies across Run calls. Nil disables caching.
 	Cache *resultcache.Cache
+	// Progress, when non-nil, is called after each completed unit of work
+	// (a discovery run, a collection, a set validation) with the number of
+	// units finished so far and the total for the execution. Calls may
+	// arrive from concurrent workers; done values are issued in increasing
+	// order but may be *observed* out of order, so consumers that need
+	// monotonic display should keep a running maximum. A whole-study cache
+	// hit reports total/total once. Progress must not block: it runs on
+	// the worker that finished the unit.
+	Progress func(done, total int)
+}
+
+// progress counts completed units and fans the count out to an optional
+// callback. A nil *progress is inert, so call sites need not branch.
+type progress struct {
+	mu    sync.Mutex
+	done  int
+	total int
+	fn    func(done, total int)
+}
+
+// newProgress returns a tracker for total units, or nil when there is no
+// callback to feed.
+func newProgress(fn func(done, total int), total int) *progress {
+	if fn == nil {
+		return nil
+	}
+	return &progress{total: total, fn: fn}
+}
+
+// unit records one completed unit and reports the new count.
+func (p *progress) unit() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	done, total := p.done, p.total
+	p.mu.Unlock()
+	p.fn(done, total)
+}
+
+// finish reports the tracker as fully complete (used when a cached result
+// short-circuits the remaining units).
+func (p *progress) finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done = p.total
+	done, total := p.done, p.total
+	p.mu.Unlock()
+	p.fn(done, total)
 }
 
 // workers resolves the effective worker count.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"sync"
 	"testing"
 
 	"barrierpoint/internal/apps"
@@ -183,6 +184,115 @@ func TestFanOutRealErrorBeatsCollateralCancellation(t *testing.T) {
 	})
 	if !errors.Is(err, boom) {
 		t.Errorf("collateral cancellation masked the real error: got %v", err)
+	}
+}
+
+// TestRunReportsProgress pins the progress contract: with one worker the
+// callback sees every count 1..total in order, total equals StudyUnits,
+// and the last report is total/total.
+func TestRunReportsProgress(t *testing.T) {
+	req := testRequest(t)
+	wantTotal := StudyUnits(req.Config)
+	var got []int
+	opts := Options{Workers: 1, Progress: func(done, total int) {
+		if total != wantTotal {
+			t.Errorf("progress total = %d, want %d", total, wantTotal)
+		}
+		got = append(got, done)
+	}}
+	if _, err := Run(context.Background(), req, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != wantTotal {
+		t.Fatalf("got %d progress reports, want %d: %v", len(got), wantTotal, got)
+	}
+	for i, d := range got {
+		if d != i+1 {
+			t.Fatalf("report %d carries done=%d, want %d (units must count up one by one)", i, d, i+1)
+		}
+	}
+}
+
+// TestRunCachedStudyReportsFullProgress: a whole-study cache hit skips
+// every unit, so progress must jump straight to total/total rather than
+// staying silent.
+func TestRunCachedStudyReportsFullProgress(t *testing.T) {
+	req := testRequest(t)
+	cache := resultcache.New(128)
+	if _, err := Run(context.Background(), req, Options{Workers: 4, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	var reports [][2]int
+	_, err := Run(context.Background(), req, Options{Workers: 4, Cache: cache,
+		Progress: func(done, total int) { reports = append(reports, [2]int{done, total}) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := StudyUnits(req.Config)
+	if len(reports) != 1 || reports[0] != [2]int{total, total} {
+		t.Errorf("cached study should report one %d/%d, got %v", total, total, reports)
+	}
+}
+
+// TestRunCancelledMidStudy cancels from inside a progress callback, so
+// the cancellation lands between units; Run must wind down with
+// context.Canceled rather than completing.
+func TestRunCancelledMidStudy(t *testing.T) {
+	req := testRequest(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := Options{Workers: 1, Progress: func(done, total int) {
+		if done == 1 {
+			cancel()
+		}
+	}}
+	if _, err := Run(ctx, req, opts); !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled after mid-study cancel, got %v", err)
+	}
+}
+
+// TestForEachExternalCancelReturnsCtxErr: a fan-out abandoned by its
+// caller reports the context's error, not nil and not a unit error
+// manufactured from the cancellation.
+func TestForEachExternalCancelReturnsCtxErr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go func() {
+		<-started
+		cancel()
+	}()
+	var once sync.Once
+	err := ForEach(ctx, 1000, 2, func(ctx context.Context, i int) error {
+		once.Do(func() { close(started) })
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestForEachCancelledUnitsNeverMaskRealError stresses the ordering
+// matrix: many units fail with collateral context.Canceled after one
+// real failure, at every worker count, and the real error must always
+// surface.
+func TestForEachCancelledUnitsNeverMaskRealError(t *testing.T) {
+	boom := errors.New("unit 7 exploded")
+	for _, workers := range []int{1, 2, 4, 16} {
+		err := ForEach(context.Background(), 32, workers, func(ctx context.Context, i int) error {
+			if i == 7 {
+				return boom
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+				return nil
+			}
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: collateral cancellations masked the real error: got %v", workers, err)
+		}
 	}
 }
 

@@ -62,6 +62,16 @@ func discKey(kind, fp string, cfg core.DiscoveryConfig, run int) resultcache.Key
 	return resultcache.NewKey(kind, fp, fmt.Sprintf("%#v run=%d", cfg, run))
 }
 
+// StudyUnits returns how many units of work a study decomposes into: one
+// per discovery run, one per native collection, one per set validation.
+// It is the denominator of Options.Progress reports for Run, computed from
+// the request alone so callers can display a total before execution
+// starts.
+func StudyUnits(cfg core.StudyConfig) int {
+	cfg = cfg.WithDefaults()
+	return 2*cfg.Runs + 2
+}
+
 // Run executes the full Section V workflow for one workload on the worker
 // pool. It runs the same per-unit primitives as core.RunStudy — the
 // canonical discovery run, the jittered re-runs, both native collections,
@@ -80,6 +90,8 @@ func Run(ctx context.Context, req StudyRequest, opts Options) (*core.StudyResult
 	cache := opts.Cache
 	discCfg := cfg.Discovery()
 	colCfgs := cfg.Collections()
+	// One unit per discovery run, one per collection, one per validation.
+	prog := newProgress(opts.Progress, StudyUnits(cfg))
 
 	// The whole-study key covers the program content for both collection
 	// variants: workloads like HPGMG-FV build different programs per ISA.
@@ -98,6 +110,7 @@ func Run(ctx context.Context, req StudyRequest, opts Options) (*core.StudyResult
 		}
 		studyKey = resultcache.NewKey("study", fpX86, fpARM, fmt.Sprintf("%#v", cfg))
 		if v, ok := cache.Get(studyKey); ok {
+			prog.finish()
 			return v.(*core.StudyResult), nil
 		}
 	}
@@ -119,6 +132,7 @@ func Run(ctx context.Context, req StudyRequest, opts Options) (*core.StudyResult
 				return err
 			}
 			sets[0], base = art.set, art.base
+			prog.unit()
 			return nil
 		},
 		func(ctx context.Context) error {
@@ -127,6 +141,7 @@ func Run(ctx context.Context, req StudyRequest, opts Options) (*core.StudyResult
 				return fmt.Errorf("sched: study %s x86_64 collection: %w", req.App, err)
 			}
 			cols[0] = col
+			prog.unit()
 			return nil
 		},
 		func(ctx context.Context) error {
@@ -135,6 +150,7 @@ func Run(ctx context.Context, req StudyRequest, opts Options) (*core.StudyResult
 				return fmt.Errorf("sched: study %s ARMv8 collection: %w", req.App, err)
 			}
 			cols[1] = col
+			prog.unit()
 			return nil
 		},
 	}
@@ -143,7 +159,7 @@ func Run(ctx context.Context, req StudyRequest, opts Options) (*core.StudyResult
 	}); err != nil {
 		return nil, err
 	}
-	if err := discoverJittered(ctx, req.App, req.Build, discCfg, fpX86, cache, workers, sets, base); err != nil {
+	if err := discoverJittered(ctx, req.App, req.Build, discCfg, fpX86, cache, workers, sets, base, prog); err != nil {
 		return nil, err
 	}
 
@@ -156,6 +172,7 @@ func Run(ctx context.Context, req StudyRequest, opts Options) (*core.StudyResult
 			return err
 		}
 		evals[i] = eval
+		prog.unit()
 		return nil
 	})
 	if err != nil {
@@ -182,7 +199,8 @@ func Discover(ctx context.Context, req DiscoverRequest, opts Options) ([]core.Ba
 	}
 	cfg := req.Config.WithDefaults()
 	sets := make([]core.BarrierPointSet, cfg.Runs)
-	if err := runDiscovery(ctx, req.App, req.Build, cfg, "", opts.Cache, opts.workers(), sets); err != nil {
+	prog := newProgress(opts.Progress, cfg.Runs)
+	if err := runDiscovery(ctx, req.App, req.Build, cfg, "", opts.Cache, opts.workers(), sets, prog); err != nil {
 		return nil, err
 	}
 	return sets, nil
@@ -196,7 +214,13 @@ func Collect(ctx context.Context, req CollectRequest, opts Options) (*core.Colle
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return runCollect(req.App, req.Build, req.Config, "", opts.Cache)
+	prog := newProgress(opts.Progress, 1)
+	col, err := runCollect(req.App, req.Build, req.Config, "", opts.Cache)
+	if err != nil {
+		return nil, err
+	}
+	prog.unit()
+	return col, nil
 }
 
 // runDiscovery executes the discovery stage: the canonical baseline run
@@ -204,7 +228,7 @@ func Collect(ctx context.Context, req CollectRequest, opts Options) (*core.Colle
 // the cfg.Runs-1 jittered runs fanned out over the pool. Sets land in
 // sets[run], preserving discovery-run order. An empty fp means the
 // caller has not fingerprinted the program yet.
-func runDiscovery(ctx context.Context, app string, build core.ProgramBuilder, cfg core.DiscoveryConfig, fp string, cache *resultcache.Cache, workers int, sets []core.BarrierPointSet) error {
+func runDiscovery(ctx context.Context, app string, build core.ProgramBuilder, cfg core.DiscoveryConfig, fp string, cache *resultcache.Cache, workers int, sets []core.BarrierPointSet, prog *progress) error {
 	if cache != nil && fp == "" {
 		var err error
 		fp, err = fingerprint(app, build, cfg.Threads,
@@ -218,7 +242,8 @@ func runDiscovery(ctx context.Context, app string, build core.ProgramBuilder, cf
 		return err
 	}
 	sets[0] = art.set
-	return discoverJittered(ctx, app, build, cfg, fp, cache, workers, sets, art.base)
+	prog.unit()
+	return discoverJittered(ctx, app, build, cfg, fp, cache, workers, sets, art.base, prog)
 }
 
 // discoverBaseline runs (or recalls) the canonical discovery run.
@@ -241,7 +266,7 @@ func discoverBaseline(app string, build core.ProgramBuilder, cfg core.DiscoveryC
 
 // discoverJittered fans the runs ≥ 1 out over the pool, reusing the
 // canonical run's LDV baseline. Sets land in sets[run].
-func discoverJittered(ctx context.Context, app string, build core.ProgramBuilder, cfg core.DiscoveryConfig, fp string, cache *resultcache.Cache, workers int, sets []core.BarrierPointSet, base *core.LDVBaseline) error {
+func discoverJittered(ctx context.Context, app string, build core.ProgramBuilder, cfg core.DiscoveryConfig, fp string, cache *resultcache.Cache, workers int, sets []core.BarrierPointSet, base *core.LDVBaseline, prog *progress) error {
 	keyCfg := cfg.WithDefaults()
 	return ForEach(ctx, len(sets)-1, workers, func(ctx context.Context, i int) error {
 		run := i + 1
@@ -252,6 +277,7 @@ func discoverJittered(ctx context.Context, app string, build core.ProgramBuilder
 			return fmt.Errorf("sched: study %s: %w", app, err)
 		}
 		sets[run] = v.(core.BarrierPointSet)
+		prog.unit()
 		return nil
 	})
 }

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+)
+
+// Queue rejection causes, mapped to 503 by submit.
+var (
+	errQueueFull    = errors.New("service: submission queue full")
+	errServerClosed = errors.New("service: server is shutting down")
+)
+
+// queueItem is one queued job with its scheduling key.
+type queueItem struct {
+	j   *job
+	pri int    // higher pops first
+	seq uint64 // submission order; lower pops first within a band
+	idx int    // heap index, maintained by queueHeap
+}
+
+// queueHeap orders items by descending priority, then submission order.
+// Equal-priority jobs therefore keep the FIFO semantics of the channel
+// queue this replaced, which keeps job start order deterministic.
+type queueHeap []*queueItem
+
+func (h queueHeap) Len() int { return len(h) }
+func (h queueHeap) Less(a, b int) bool {
+	if h[a].pri != h[b].pri {
+		return h[a].pri > h[b].pri
+	}
+	return h[a].seq < h[b].seq
+}
+func (h queueHeap) Swap(a, b int) {
+	h[a], h[b] = h[b], h[a]
+	h[a].idx, h[b].idx = a, b
+}
+func (h *queueHeap) Push(x any) {
+	it := x.(*queueItem)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+func (h *queueHeap) Pop() any {
+	old := *h
+	it := old[len(old)-1]
+	old[len(old)-1] = nil
+	*h = old[:len(old)-1]
+	return it
+}
+
+// jobQueue is a mutex-guarded, bounded priority queue of submitted jobs.
+// push rejects once the depth bound is reached or the queue is closed;
+// pop blocks until a job or close; remove pulls a still-queued job out by
+// identity (cancellation of a queued job). close wakes every blocked pop
+// and hands the undrained jobs back to the caller, so a job can never be
+// enqueued after the executors are gone and sit "queued" forever.
+type jobQueue struct {
+	mu       sync.Mutex
+	nonEmpty sync.Cond
+	items    queueHeap
+	byJob    map[*job]*queueItem
+	depth    int
+	seq      uint64
+	closed   bool
+}
+
+func newJobQueue(depth int) *jobQueue {
+	q := &jobQueue{
+		byJob: make(map[*job]*queueItem),
+		depth: depth,
+	}
+	q.nonEmpty.L = &q.mu
+	return q
+}
+
+// push enqueues the job at the given priority.
+func (q *jobQueue) push(j *job, pri int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errServerClosed
+	}
+	if len(q.items) >= q.depth {
+		return errQueueFull
+	}
+	q.seq++
+	it := &queueItem{j: j, pri: pri, seq: q.seq}
+	heap.Push(&q.items, it)
+	q.byJob[j] = it
+	q.nonEmpty.Signal()
+	return nil
+}
+
+// pop blocks until a job is available (returning the highest-priority,
+// oldest one) or the queue is closed (returning ok=false immediately,
+// leaving any remaining jobs for close's caller to drain).
+func (q *jobQueue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.nonEmpty.Wait()
+	}
+	if q.closed {
+		return nil, false
+	}
+	it := heap.Pop(&q.items).(*queueItem)
+	delete(q.byJob, it.j)
+	return it.j, true
+}
+
+// remove pulls a still-queued job out of the queue, reporting whether it
+// was there (false means an executor already claimed it, or it was never
+// queued here).
+func (q *jobQueue) remove(j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	it, ok := q.byJob[j]
+	if !ok {
+		return false
+	}
+	heap.Remove(&q.items, it.idx)
+	delete(q.byJob, j)
+	return true
+}
+
+// close marks the queue closed, wakes all blocked pops, and returns the
+// jobs still queued in pop order. Idempotent; later calls return nil.
+func (q *jobQueue) close() []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	drained := make([]*job, 0, len(q.items))
+	for len(q.items) > 0 {
+		it := heap.Pop(&q.items).(*queueItem)
+		delete(q.byJob, it.j)
+		drained = append(drained, it.j)
+	}
+	q.nonEmpty.Broadcast()
+	return drained
+}
+
+// len returns the number of queued jobs.
+func (q *jobQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

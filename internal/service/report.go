@@ -9,6 +9,15 @@ import (
 	"barrierpoint/internal/report"
 )
 
+// renderProgress writes a one-line progress bar for a running job.
+func renderProgress(w io.Writer, st JobStatus) {
+	done, total := 0, 0
+	if st.Progress != nil {
+		done, total = st.Progress.UnitsDone, st.Progress.UnitsTotal
+	}
+	fmt.Fprintf(w, "study %s is %s %s\n", st.ID, st.State, report.ProgressLine(done, total))
+}
+
 // renderReport writes a finished study as the paper-style plain-text
 // tables of internal/report: one row per discovery run with both
 // validations, then the best set's selected barrier points.

@@ -1,14 +1,21 @@
 // Package service exposes the study-execution subsystem over HTTP.
 //
 // A Server queues study submissions onto the internal/sched worker pool,
-// tracks each job through queued → running → done/failed, and renders
-// finished studies via internal/report. The API is JSON:
+// tracks each job through queued → running → done/failed/cancelled, and
+// renders finished studies via internal/report. The API is JSON:
 //
-//	POST /studies             submit a study        → 202 + job status
-//	GET  /studies             list all jobs         → 200 + statuses
-//	GET  /studies/{id}        poll one job          → 200 + job status
-//	GET  /studies/{id}/report render a finished job → 200 text/plain
-//	GET  /healthz             liveness + counters   → 200 + health
+//	POST   /studies             submit a study        → 202 + job status
+//	GET    /studies             list all jobs         → 200 + statuses
+//	GET    /studies/{id}        poll one job          → 200 + job status
+//	DELETE /studies/{id}        cancel one job        → 200/202 + job status
+//	GET    /studies/{id}/report render a finished job → 200 text/plain
+//	GET    /healthz             liveness + counters   → 200 + health
+//
+// Submissions carry an optional priority: higher-priority jobs start
+// first, equal priorities start in submission order. A running job
+// reports live progress (units completed / total) on every poll, and
+// DELETE cancels it promptly — the queue entry is removed if it has not
+// started, the study's context is cancelled if it has.
 //
 // Studies are memoised through the server's resultcache, so repeated or
 // overlapping submissions skip recomputation; /healthz reports the hit
@@ -18,7 +25,9 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"sync"
@@ -33,17 +42,27 @@ import (
 // State is a job's lifecycle phase.
 type State string
 
-// Job states, in lifecycle order.
+// Job states. queued → running → done/failed; cancelled is reachable
+// from queued (removed before start) and running (context cancelled).
 const (
-	StateQueued  State = "queued"
-	StateRunning State = "running"
-	StateDone    State = "done"
-	StateFailed  State = "failed"
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
 )
+
+// terminal reports whether a job in this state can no longer change.
+func (st State) terminal() bool {
+	return st == StateDone || st == StateFailed || st == StateCancelled
+}
 
 // SubmitRequest is the POST /studies body. App must name one of the
 // Table I applications; zero-valued tuning fields take the paper's
-// defaults (10 runs, 20 reps).
+// defaults (10 runs, 20 reps). Priority places the job in a scheduling
+// band: higher starts first, equal bands start in submission order. A
+// pointer so that an explicit `"priority": 0` is distinguishable from an
+// omitted field, which takes the server's default band.
 type SubmitRequest struct {
 	App        string `json:"app"`
 	Threads    int    `json:"threads"`
@@ -52,6 +71,15 @@ type SubmitRequest struct {
 	Reps       int    `json:"reps,omitempty"`
 	Seed       uint64 `json:"seed,omitempty"`
 	MaxK       int    `json:"max_k,omitempty"`
+	Priority   *int   `json:"priority,omitempty"`
+}
+
+// Progress counts a job's completed units of work (discovery runs,
+// collections, validations). UnitsDone increases monotonically from 0 to
+// UnitsTotal while the job runs.
+type Progress struct {
+	UnitsDone  int `json:"units_done"`
+	UnitsTotal int `json:"units_total"`
 }
 
 // JobStatus is the wire representation of one job.
@@ -59,12 +87,17 @@ type JobStatus struct {
 	ID      string        `json:"id"`
 	State   State         `json:"state"`
 	Request SubmitRequest `json:"request"`
+	// Priority is the effective scheduling band (the request's, or the
+	// server default when the request left it zero).
+	Priority int `json:"priority"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 
-	// Error explains a failed job.
+	// Progress tracks a started job's completed units.
+	Progress *Progress `json:"progress,omitempty"`
+	// Error explains a failed or cancelled job.
 	Error string `json:"error,omitempty"`
 	// Summary digests a finished study.
 	Summary *core.Summary `json:"summary,omitempty"`
@@ -83,17 +116,68 @@ type job struct {
 	mu     sync.Mutex
 	status JobStatus
 	result *core.StudyResult
+	// cancel aborts the running study's context; non-nil only while the
+	// job runs.
+	cancel context.CancelFunc
+	// cancelRequested records a DELETE, so the executor can tell a
+	// cancelled study apart from one that failed on its own, and skip a
+	// job whose cancellation raced with its dequeue.
+	cancelRequested bool
 }
 
+// snapshot returns a copy of the status safe to use outside j.mu. The
+// Progress field is deep-copied: the executor mutates it in place while
+// handlers encode snapshots.
 func (j *job) snapshot() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.status
+	return j.snapshotLocked()
+}
+
+// snapshotLocked is snapshot for callers already holding j.mu.
+func (j *job) snapshotLocked() JobStatus {
+	st := j.status
+	if st.Progress != nil {
+		p := *st.Progress
+		st.Progress = &p
+	}
+	return st
 }
 
 func (j *job) setID(id string) {
 	j.mu.Lock()
 	j.status.ID = id
+	j.mu.Unlock()
+}
+
+// setProgress folds one scheduler progress report into the status.
+// Reports can be observed out of order across workers, so only a higher
+// done count is kept — GET /studies/{id} sees units_done increase
+// monotonically.
+func (j *job) setProgress(done, total int) {
+	j.mu.Lock()
+	if p := j.status.Progress; p != nil && done > p.UnitsDone {
+		p.UnitsDone = done
+		p.UnitsTotal = total
+	}
+	j.mu.Unlock()
+}
+
+// state reads just the lifecycle phase, without the full status copy.
+func (j *job) state() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status.State
+}
+
+// finish moves the job to a terminal state.
+func (j *job) finish(at time.Time, st State, err error) {
+	j.mu.Lock()
+	j.status.State = st
+	j.status.FinishedAt = &at
+	if err != nil {
+		j.status.Error = err.Error()
+	}
 	j.mu.Unlock()
 }
 
@@ -115,31 +199,42 @@ type Config struct {
 	// When exceeded, the oldest finished jobs are pruned; queued and
 	// running jobs are never dropped.
 	MaxJobs int
+	// DefaultPriority is the scheduling band given to submissions that
+	// leave the priority field zero.
+	DefaultPriority int
 	// Now overrides the clock, for tests. Defaults to time.Now.
 	Now func() time.Time
+	// Logf sinks server diagnostics (e.g. response-encoding failures).
+	// Defaults to log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // Submission sanity bounds. The paper's configurations are 10 runs and
 // 20 reps; these caps leave generous experimentation headroom while
 // keeping a single request from exhausting the process (a huge Runs
 // allocates a slice per run and a huge Reps multiplies simulation work).
+// MaxPriority bounds the band in both directions so a client cannot
+// starve everything with MaxInt.
 const (
-	MaxRuns    = 1000
-	MaxReps    = 10000
-	MaxThreads = 1024
-	MaxMaxK    = 1000
+	MaxRuns     = 1000
+	MaxReps     = 10000
+	MaxThreads  = 1024
+	MaxMaxK     = 1000
+	MaxPriority = 100
 )
 
 // Server queues, executes, and reports studies. Create with New, expose
 // with Handler, stop with Close.
 type Server struct {
-	opts  sched.Options
-	cache *resultcache.Cache
-	now   func() time.Time
+	opts       sched.Options
+	cache      *resultcache.Cache
+	now        func() time.Time
+	logf       func(format string, args ...any)
+	defaultPri int
 
 	ctx    context.Context
 	cancel context.CancelFunc
-	queue  chan *job
+	queue  *jobQueue
 	wg     sync.WaitGroup
 
 	mu      sync.Mutex
@@ -163,18 +258,26 @@ func New(cfg Config) *Server {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	// The default band obeys the same bound as client-supplied
+	// priorities, or default traffic could outrank every explicit band.
+	cfg.DefaultPriority = min(max(cfg.DefaultPriority, -MaxPriority), MaxPriority)
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:   sched.Options{Workers: cfg.Workers},
-		cache:  resultcache.New(cfg.CacheSize),
-		now:    cfg.Now,
-		ctx:    ctx,
-		cancel: cancel,
-		queue:  make(chan *job, cfg.QueueDepth),
-		jobs:   make(map[string]*job),
+		opts:       sched.Options{Workers: cfg.Workers},
+		cache:      resultcache.New(cfg.CacheSize),
+		now:        cfg.Now,
+		logf:       cfg.Logf,
+		defaultPri: cfg.DefaultPriority,
+		ctx:        ctx,
+		cancel:     cancel,
+		queue:      newJobQueue(cfg.QueueDepth),
+		jobs:       make(map[string]*job),
 	}
 	s.maxJobs = cfg.MaxJobs
 	s.opts.Cache = s.cache
@@ -185,81 +288,103 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Close stops the executors. Queued jobs that have not started are marked
-// failed; the call returns once all executors exit.
+// Close stops the service: the queue is closed first (new submissions are
+// rejected with 503), running studies are cancelled, and once the
+// executors exit the jobs still queued are marked cancelled. Closing the
+// queue before waiting means no job can slip in after the drain and sit
+// "queued" forever with no executor left to run it.
 func (s *Server) Close() {
+	drained := s.queue.close()
 	s.cancel()
 	s.wg.Wait()
-drain:
-	for {
-		select {
-		case j := <-s.queue:
-			j.fail(s.now(), context.Canceled)
-		default:
-			break drain
-		}
+	for _, j := range drained {
+		j.finish(s.now(), StateCancelled, errServerClosed)
 	}
 }
 
-// execute is one executor goroutine: it drains the queue until Close.
+// execute is one executor goroutine: it pops jobs in priority order until
+// the queue closes.
 func (s *Server) execute() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.ctx.Done():
+		j, ok := s.queue.pop()
+		if !ok {
 			return
-		case j := <-s.queue:
-			s.runJob(j)
 		}
+		s.runJob(j)
 	}
 }
 
-// runJob drives one job through running → done/failed.
+// runJob drives one job through running → done/failed/cancelled.
 func (s *Server) runJob(j *job) {
 	started := s.now()
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+
 	j.mu.Lock()
+	if j.cancelRequested {
+		// DELETE raced with the dequeue: honour it before doing any work.
+		j.status.State = StateCancelled
+		j.status.FinishedAt = &started
+		j.status.Error = context.Canceled.Error()
+		j.mu.Unlock()
+		return
+	}
+	j.cancel = cancel
 	j.status.State = StateRunning
 	j.status.StartedAt = &started
 	req := j.status.Request
+	cfg := core.StudyConfig{
+		Threads:    req.Threads,
+		Vectorised: req.Vectorised,
+		Runs:       req.Runs,
+		Reps:       req.Reps,
+		Seed:       req.Seed,
+		MaxK:       req.MaxK,
+	}
+	j.status.Progress = &Progress{UnitsTotal: sched.StudyUnits(cfg)}
 	j.mu.Unlock()
 
-	a, err := apps.ByName(req.App)
-	if err != nil {
-		j.fail(s.now(), err)
-		return
-	}
-	res, err := sched.Run(s.ctx, sched.StudyRequest{
-		App:   a.Name,
-		Build: a.Build,
-		Config: core.StudyConfig{
-			Threads:    req.Threads,
-			Vectorised: req.Vectorised,
-			Runs:       req.Runs,
-			Reps:       req.Reps,
-			Seed:       req.Seed,
-			MaxK:       req.MaxK,
-		},
-	}, s.opts)
-	if err != nil {
-		j.fail(s.now(), err)
-		return
-	}
-	finished := s.now()
-	summary := res.Summarise()
+	res, err := s.runStudy(ctx, j, req.App, cfg)
+
 	j.mu.Lock()
-	j.status.State = StateDone
-	j.status.FinishedAt = &finished
-	j.status.Summary = &summary
-	j.result = res
+	j.cancel = nil
+	wasCancelled := j.cancelRequested
 	j.mu.Unlock()
+
+	switch {
+	case err == nil:
+		finished := s.now()
+		summary := res.Summarise()
+		j.mu.Lock()
+		j.status.State = StateDone
+		j.status.FinishedAt = &finished
+		j.status.Summary = &summary
+		j.result = res
+		j.mu.Unlock()
+	case errors.Is(err, context.Canceled) && (wasCancelled || s.ctx.Err() != nil):
+		// Cancelled via DELETE, or the server shut down underneath the
+		// study: either way the study was stopped, it did not fail.
+		j.finish(s.now(), StateCancelled, err)
+	default:
+		j.finish(s.now(), StateFailed, err)
+	}
 }
 
-func (j *job) fail(at time.Time, err error) {
-	j.mu.Lock()
-	j.status.State = StateFailed
-	j.status.FinishedAt = &at
-	j.status.Error = err.Error()
-	j.mu.Unlock()
+// runStudy executes the job's study on the scheduler with a per-job
+// progress callback.
+func (s *Server) runStudy(ctx context.Context, j *job, app string, cfg core.StudyConfig) (*core.StudyResult, error) {
+	a, err := apps.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	opts := s.opts
+	opts.Progress = j.setProgress
+	return sched.Run(ctx, sched.StudyRequest{
+		App:    a.Name,
+		Build:  a.Build,
+		Config: cfg,
+	}, opts)
 }
 
 // submit validates and enqueues one study, returning its initial status.
@@ -285,20 +410,29 @@ func (s *Server) submit(req SubmitRequest) (JobStatus, int, error) {
 				fmt.Errorf("service: %s must be in [0, %d], got %d", lim.name, lim.max, lim.v)
 		}
 	}
+	pri := s.defaultPri
+	if req.Priority != nil {
+		if *req.Priority < -MaxPriority || *req.Priority > MaxPriority {
+			return JobStatus{}, http.StatusBadRequest,
+				fmt.Errorf("service: priority must be in [%d, %d], got %d", -MaxPriority, MaxPriority, *req.Priority)
+		}
+		pri = *req.Priority
+	}
 
 	j := &job{status: JobStatus{
 		State:       StateQueued,
 		Request:     req,
+		Priority:    pri,
 		SubmittedAt: s.now(),
 	}}
 	// Enqueue before registering: a rejected submission must not leave a
 	// phantom failed job behind (retry storms against a full queue would
 	// otherwise flood the job list and prune real finished studies).
-	select {
-	case s.queue <- j:
-	default:
-		return JobStatus{}, http.StatusServiceUnavailable,
-			fmt.Errorf("service: submission queue full (%d pending)", cap(s.queue))
+	if err := s.queue.push(j, pri); err != nil {
+		if errors.Is(err, errQueueFull) {
+			err = fmt.Errorf("%w (%d pending)", err, s.queue.len())
+		}
+		return JobStatus{}, http.StatusServiceUnavailable, err
 	}
 	s.mu.Lock()
 	s.nextID++
@@ -307,6 +441,44 @@ func (s *Server) submit(req SubmitRequest) (JobStatus, int, error) {
 	s.order = append(s.order, j.status.ID)
 	s.pruneJobs()
 	s.mu.Unlock()
+	return j.snapshot(), http.StatusAccepted, nil
+}
+
+// cancelJob cancels one job: a still-queued job is removed from the queue
+// and terminal immediately; a running job has its context cancelled and
+// winds down at the next unit boundary (202 — poll for "cancelled").
+// Cancelling an already-cancelled job is a no-op; done/failed jobs
+// conflict.
+func (s *Server) cancelJob(j *job) (JobStatus, int, error) {
+	// Pull it from the queue first (queue lock only — never nested with
+	// j.mu). Success means no executor will ever see the job.
+	if s.queue.remove(j) {
+		j.mu.Lock()
+		j.cancelRequested = true
+		j.mu.Unlock()
+		j.finish(s.now(), StateCancelled, errors.New("service: cancelled before start"))
+		return j.snapshot(), http.StatusOK, nil
+	}
+	j.mu.Lock()
+	st := j.status.State
+	if st == StateDone || st == StateFailed {
+		id := j.status.ID
+		j.mu.Unlock()
+		return JobStatus{}, http.StatusConflict,
+			fmt.Errorf("service: study %s is already %s", id, st)
+	}
+	if st == StateCancelled {
+		j.mu.Unlock()
+		return j.snapshot(), http.StatusOK, nil
+	}
+	j.cancelRequested = true
+	if j.cancel != nil {
+		j.cancel()
+	}
+	j.mu.Unlock()
+	// Queued-but-claimed (an executor popped it but has not started it)
+	// is handled by runJob's cancelRequested check; running jobs stop at
+	// the next unit boundary.
 	return j.snapshot(), http.StatusAccepted, nil
 }
 
@@ -321,8 +493,7 @@ func (s *Server) pruneJobs() {
 	}
 	kept := s.order[:0]
 	for _, id := range s.order {
-		st := s.jobs[id].snapshot().State
-		if excess > 0 && (st == StateDone || st == StateFailed) {
+		if excess > 0 && s.jobs[id].state().terminal() {
 			delete(s.jobs, id)
 			excess--
 			continue
@@ -340,12 +511,31 @@ func (s *Server) lookup(id string) (*job, bool) {
 	return j, ok
 }
 
+// snapshotJobs copies the job list out of s.mu, then snapshots each job
+// outside it: job snapshots take the per-job lock, and holding the server
+// lock across every per-job lock would serialise list/health handlers
+// against all executors at once.
+func (s *Server) snapshotJobs() []JobStatus {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		js = append(js, s.jobs[id])
+	}
+	s.mu.Unlock()
+	statuses := make([]JobStatus, 0, len(js))
+	for _, j := range js {
+		statuses = append(statuses, j.snapshot())
+	}
+	return statuses
+}
+
 // Handler returns the service's HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /studies", s.handleSubmit)
 	mux.HandleFunc("GET /studies", s.handleList)
 	mux.HandleFunc("GET /studies/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /studies/{id}", s.handleCancel)
 	mux.HandleFunc("GET /studies/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
@@ -356,48 +546,65 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: decoding submission: %w", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("service: decoding submission: %w", err))
 		return
 	}
 	status, code, err := s.submit(req)
 	if err != nil {
-		writeError(w, code, err)
+		s.writeError(w, code, err)
 		return
 	}
-	writeJSON(w, code, status)
+	s.writeJSON(w, code, status)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	statuses := make([]JobStatus, 0, len(s.order))
-	for _, id := range s.order {
-		statuses = append(statuses, s.jobs[id].snapshot())
-	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, statuses)
+	s.writeJSON(w, http.StatusOK, s.snapshotJobs())
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown study %q", r.PathValue("id")))
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown study %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, j.snapshot())
+	s.writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown study %q", r.PathValue("id")))
+		return
+	}
+	status, code, err := s.cancelJob(j)
+	if err != nil {
+		s.writeError(w, code, err)
+		return
+	}
+	s.writeJSON(w, code, status)
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown study %q", r.PathValue("id")))
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown study %q", r.PathValue("id")))
 		return
 	}
+	// State and result must be read under one lock acquisition: a job
+	// observed done must come with its (already set) result.
 	j.mu.Lock()
-	state, res := j.status.State, j.result
+	st, res := j.snapshotLocked(), j.result
 	j.mu.Unlock()
-	if state != StateDone {
-		writeError(w, http.StatusConflict,
-			fmt.Errorf("service: study %s is %s, report needs %s", j.snapshot().ID, state, StateDone))
+	if st.State == StateRunning {
+		// A running job's report is not ready, but its progress is.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusConflict)
+		renderProgress(w, st)
+		return
+	}
+	if st.State != StateDone {
+		s.writeError(w, http.StatusConflict,
+			fmt.Errorf("service: study %s is %s, report needs %s", st.ID, st.State, StateDone))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -405,13 +612,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	counts := map[State]int{StateQueued: 0, StateRunning: 0, StateDone: 0, StateFailed: 0}
-	s.mu.Lock()
-	for _, id := range s.order {
-		counts[s.jobs[id].snapshot().State]++
+	counts := map[State]int{
+		StateQueued: 0, StateRunning: 0, StateDone: 0, StateFailed: 0, StateCancelled: 0,
 	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, Health{
+	for _, st := range s.snapshotJobs() {
+		counts[st.State]++
+	}
+	s.writeJSON(w, http.StatusOK, Health{
 		Status:  "ok",
 		Workers: s.opts.Workers,
 		Jobs:    counts,
@@ -419,14 +626,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// The header is already out, so the client sees a truncated body;
+		// the log is the only place the cause survives.
+		s.logf("service: encoding %d response: %v", code, err)
+	}
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	s.writeJSON(w, code, map[string]string{"error": err.Error()})
 }
