@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test-short test test-race bench
+.PHONY: ci fmt-check vet build test-short test test-race test-persist bench
 
 # ci is the tier-1 gate: formatting, static checks, build, fast tests,
-# and the race detector over the concurrent subsystems.
-ci: fmt-check vet build test-short test-race
+# the race detector over the concurrent subsystems, and the persistence
+# suite.
+ci: fmt-check vet build test-short test-race test-persist
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -25,10 +26,18 @@ test:
 	$(GO) test ./...
 
 # test-race gates the concurrency-heavy packages (scheduler fan-out,
-# in-flight result cache, job queue/cancel/Close interleavings) under the
-# race detector.
+# in-flight result cache and write-behind spiller, disk store, job
+# queue/cancel/Close interleavings) under the race detector.
 test-race:
-	$(GO) test -race ./internal/sched/... ./internal/resultcache/... ./internal/service/...
+	$(GO) test -race ./internal/sched/... ./internal/resultcache/... ./internal/service/... ./internal/cachestore/...
+
+# test-persist exercises the persistent cache store and every layer's
+# warm-restart path (store scan/eviction/corruption recovery, scheduler,
+# HTTP service, batch runner) against temp directories, under the race
+# detector.
+test-persist:
+	$(GO) test -race ./internal/cachestore/...
+	$(GO) test -race -run 'Persist|WarmRestart|RestartServes' ./internal/sched/... ./internal/service/... ./internal/experiments/... .
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -29,8 +29,10 @@ package barrierpoint
 
 import (
 	"context"
+	"sync"
 
 	"barrierpoint/internal/apps"
+	"barrierpoint/internal/cachestore"
 	"barrierpoint/internal/core"
 	"barrierpoint/internal/isa"
 	"barrierpoint/internal/machine"
@@ -88,15 +90,61 @@ var (
 // collections, whole studies) across RunStudy calls in this process. The
 // LRU bound caps retention at DefaultMaxEntries values for the process
 // lifetime — the deliberate trade for repeated and overlapping studies
-// returning without recomputation.
-var studyCache = resultcache.New(resultcache.DefaultMaxEntries)
+// returning without recomputation. PersistCache swaps in a disk-backed
+// cache, so access goes through getStudyCache.
+var (
+	studyCacheMu sync.Mutex
+	studyCache   = resultcache.New(resultcache.DefaultMaxEntries)
+)
+
+func getStudyCache() *resultcache.Cache {
+	studyCacheMu.Lock()
+	defer studyCacheMu.Unlock()
+	return studyCache
+}
+
+// PersistCache backs this process's study cache with a persistent
+// content-addressed store rooted at dir, so separate invocations of a
+// batch tool (or a tool and a bpserved instance) pointed at the same
+// directory share previously computed discovery runs, collections, and
+// whole studies instead of recomputing them. maxBytes bounds the store's
+// on-disk size (0 = unbounded); least recently used artifacts are evicted
+// first. The directory is a pure cache — deleting it is always safe.
+//
+// Call it once at startup, before RunStudy. The returned function flushes
+// pending writes, closes the store, and restores the cache that was in
+// use before the call; invoke it before the process exits or results
+// computed near the end may not reach disk.
+func PersistCache(dir string, maxBytes int64) (close func() error, err error) {
+	store, err := cachestore.Open(dir, cachestore.Options{MaxBytes: maxBytes})
+	if err != nil {
+		return nil, err
+	}
+	c := resultcache.NewWith(resultcache.Config{
+		MaxEntries: resultcache.DefaultMaxEntries,
+		Store:      store,
+	})
+	studyCacheMu.Lock()
+	prev := studyCache
+	studyCache = c
+	studyCacheMu.Unlock()
+	return func() error {
+		studyCacheMu.Lock()
+		if studyCache == c {
+			// Later RunStudy calls must not hit the closed store.
+			studyCache = prev
+		}
+		studyCacheMu.Unlock()
+		return c.Close()
+	}, nil
+}
 
 // RunStudy executes the whole workflow for one workload/configuration on
 // the concurrent study scheduler (internal/sched): discovery runs, native
 // collections and validations fan out across a worker pool and repeated
-// intermediates are served from an in-process cache. The result is
-// byte-identical to the serial core.RunStudy reference for the same
-// arguments.
+// intermediates are served from an in-process cache (persistent across
+// processes after PersistCache). The result is byte-identical to the
+// serial core.RunStudy reference for the same arguments.
 //
 // Each call returns its own StudyResult and Evals slice, so reordering or
 // replacing evaluations is safe. The deep measurement data (Collections,
@@ -107,7 +155,7 @@ func RunStudy(app string, build ProgramBuilder, cfg StudyConfig) (*StudyResult, 
 		App:    app,
 		Build:  build,
 		Config: cfg,
-	}, sched.Options{Cache: studyCache})
+	}, sched.Options{Cache: getStudyCache()})
 	if err != nil {
 		return nil, err
 	}

@@ -32,13 +32,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment name (see -list) or 'all'")
-		quick   = flag.Bool("quick", false, "reduced sweep: fewer discovery runs and thread counts")
-		seed    = flag.Uint64("seed", 2017, "experiment seed")
-		runs    = flag.Int("runs", 0, "override discovery runs (0 = preset)")
-		workers = flag.Int("workers", 0, "total worker budget across experiments and per-study units (0 = GOMAXPROCS)")
-		serial  = flag.Bool("serial", false, "render experiments one at a time (same output, for timing comparisons)")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("exp", "all", "experiment name (see -list) or 'all'")
+		quick    = flag.Bool("quick", false, "reduced sweep: fewer discovery runs and thread counts")
+		seed     = flag.Uint64("seed", 2017, "experiment seed")
+		runs     = flag.Int("runs", 0, "override discovery runs (0 = preset)")
+		workers  = flag.Int("workers", 0, "total worker budget across experiments and per-study units (0 = GOMAXPROCS)")
+		serial   = flag.Bool("serial", false, "render experiments one at a time (same output, for timing comparisons)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		cacheDir = flag.String("cache-dir", "", "persistent cache directory shared across invocations (empty = memory only)")
+		cacheMax = flag.Int64("cache-max-bytes", 0, "persistent cache size bound in bytes (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -89,7 +91,20 @@ func main() {
 		cfg.Runs = *runs
 	}
 	cfg.Workers = budget / width
-	runner := experiments.NewRunner(cfg)
+	var runner *experiments.Runner
+	if *cacheDir != "" {
+		// A persistent cache makes separate invocations share work: the
+		// second run of an experiment (or of a study another experiment
+		// already needed) is served from disk.
+		var err error
+		runner, err = experiments.NewPersistentRunner(cfg, *cacheDir, *cacheMax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bpexperiments:", err)
+			os.Exit(1)
+		}
+	} else {
+		runner = experiments.NewRunner(cfg)
+	}
 
 	// Experiments render into per-experiment buffers so they can run
 	// concurrently without interleaving; each experiment's output is
@@ -125,11 +140,22 @@ func main() {
 			mu.Unlock()
 			return nil
 		})
+	// Close before exiting either way: pending write-behinds must reach
+	// the persistent store even when an experiment failed.
+	if cerr := runner.Close(); cerr != nil {
+		fmt.Fprintln(os.Stderr, "bpexperiments: closing cache:", cerr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bpexperiments:", err)
 		os.Exit(1)
 	}
 	stats := runner.CacheStats()
+	if stats.Disk != nil {
+		fmt.Fprintf(os.Stderr, "[suite done in %v: %d experiments, cache %d hits / %d misses, disk %d hits / %d entries / %d bytes]\n",
+			time.Since(start).Round(time.Millisecond), len(selected),
+			stats.Hits, stats.Misses, stats.DiskHits, stats.Disk.Entries, stats.Disk.Bytes)
+		return
+	}
 	fmt.Fprintf(os.Stderr, "[suite done in %v: %d experiments, cache %d hits / %d misses]\n",
 		time.Since(start).Round(time.Millisecond), len(selected), stats.Hits, stats.Misses)
 }

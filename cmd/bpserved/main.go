@@ -2,9 +2,19 @@
 // HTTP: studies are submitted as JSON, run on the concurrent scheduler
 // with result caching, and polled until their report is ready.
 //
+// With -cache-dir the result cache is backed by a persistent
+// content-addressed store: computed studies survive restarts, and batch
+// runs (bpexperiments -cache-dir) pointed at the same directory share the
+// server's work. -cache-max-bytes bounds the store on disk; least
+// recently used artifacts are evicted first. On SIGINT/SIGTERM the server
+// shuts down gracefully: in-flight HTTP requests drain, running studies
+// are cancelled at their next unit boundary, and pending cache writes are
+// flushed to disk before the process exits.
+//
 // Usage:
 //
-//	bpserved -addr :8080 -workers 8 -executors 2 -cache 256 -priority 0
+//	bpserved -addr :8080 -workers 8 -executors 2 -cache 256 -priority 0 \
+//	         -cache-dir /var/cache/bp -cache-max-bytes 1073741824
 //
 //	curl -s -X POST localhost:8080/studies \
 //	     -d '{"app":"MCB","threads":8,"runs":10,"reps":20,"seed":2017,"priority":5}'
@@ -19,9 +29,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"barrierpoint/internal/service"
@@ -34,34 +46,66 @@ func main() {
 		executors = flag.Int("executors", 2, "studies running concurrently")
 		queue     = flag.Int("queue", 64, "submission queue depth")
 		cacheSize = flag.Int("cache", 256, "result cache entries")
+		cacheMem  = flag.Int64("cache-mem-bytes", 0, "in-memory result cache byte bound (0 = entries only)")
+		cacheDir  = flag.String("cache-dir", "", "persistent cache directory (empty = memory only)")
+		cacheMax  = flag.Int64("cache-max-bytes", 0, "persistent cache size bound in bytes (0 = unbounded)")
 		priority  = flag.Int("priority", 0,
 			fmt.Sprintf("default priority band for submissions that omit one (higher starts first, ±%d)", service.MaxPriority))
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{
+	svc, err := service.New(service.Config{
 		Workers:         *workers,
 		Executors:       *executors,
 		QueueDepth:      *queue,
 		CacheSize:       *cacheSize,
+		CacheBytes:      *cacheMem,
+		CacheDir:        *cacheDir,
+		CacheMaxBytes:   *cacheMax,
 		DefaultPriority: *priority,
 	})
-	defer svc.Close()
-
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	go func() {
-		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		srv.Shutdown(shutdownCtx)
-	}()
-
-	fmt.Fprintf(os.Stderr, "bpserved: listening on %s\n", *addr)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bpserved:", err)
 		os.Exit(1)
 	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		svc.Close()
+		fmt.Fprintln(os.Stderr, "bpserved:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bpserved: listening on %s\n", ln.Addr())
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "bpserved: persistent cache at %s\n", *cacheDir)
+	}
+
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	exit := 0
+	select {
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting and drain in-flight HTTP
+		// requests first, then stop the service — which cancels running
+		// studies and flushes pending cache writes to disk.
+		fmt.Fprintln(os.Stderr, "bpserved: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "bpserved: shutdown:", err)
+			exit = 1
+		}
+		cancel()
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "bpserved:", err)
+			exit = 1
+		}
+	}
+	svc.Close()
+	os.Exit(exit)
 }

@@ -1,0 +1,98 @@
+package cachestore
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// ErrNoCodec is returned by Store.Put for a value whose concrete type has
+// no registered codec. The cache layer treats it as "not persistable" and
+// keeps the value in memory only.
+var ErrNoCodec = errors.New("cachestore: no codec registered for value type")
+
+// A Codec serialises one concrete artifact type. The Name is written into
+// every entry header, so renaming a codec orphans (and the startup scan
+// drops) its old files — bump names deliberately, like a schema version.
+type Codec struct {
+	// Name identifies the format on disk, e.g. "core.StudyResult".
+	Name string
+	// Type is the concrete Go type the codec accepts and produces.
+	Type reflect.Type
+	// Encode serialises a value of Type.
+	Encode func(v any) ([]byte, error)
+	// Decode reverses Encode.
+	Decode func(data []byte) (any, error)
+}
+
+var (
+	regMu       sync.RWMutex
+	codecByType = map[reflect.Type]*Codec{}
+	codecByName = map[string]*Codec{}
+)
+
+// Register adds a codec to the process-wide registry. It panics on a
+// duplicate name or type: registration happens in package init functions,
+// where a collision is a programming error.
+func Register(c Codec) {
+	if c.Name == "" || c.Type == nil || c.Encode == nil || c.Decode == nil {
+		panic("cachestore: Register needs Name, Type, Encode and Decode")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := codecByName[c.Name]; dup {
+		panic(fmt.Sprintf("cachestore: codec %q registered twice", c.Name))
+	}
+	if prev, dup := codecByType[c.Type]; dup {
+		panic(fmt.Sprintf("cachestore: type %v already has codec %q", c.Type, prev.Name))
+	}
+	codec := c
+	codecByName[c.Name] = &codec
+	codecByType[c.Type] = &codec
+}
+
+// RegisterGob registers a gob codec for T under the given format name.
+// T may be a value or pointer type; pointer types round-trip as pointers.
+func RegisterGob[T any](name string) {
+	Register(Codec{
+		Name: name,
+		Type: reflect.TypeFor[T](),
+		Encode: func(v any) ([]byte, error) {
+			tv, ok := v.(T)
+			if !ok {
+				return nil, fmt.Errorf("cachestore: codec %s given %T", name, v)
+			}
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(&tv); err != nil {
+				return nil, fmt.Errorf("cachestore: encoding %s: %w", name, err)
+			}
+			return buf.Bytes(), nil
+		},
+		Decode: func(data []byte) (any, error) {
+			var tv T
+			if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&tv); err != nil {
+				return nil, fmt.Errorf("cachestore: decoding %s: %w", name, err)
+			}
+			return tv, nil
+		},
+	})
+}
+
+// codecFor returns the codec for a value's concrete type.
+func codecFor(v any) (*Codec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := codecByType[reflect.TypeOf(v)]
+	return c, ok
+}
+
+// codecNamed returns the codec registered under a format name.
+func codecNamed(name string) (*Codec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := codecByName[name]
+	return c, ok
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func gobRoundTrip(t *testing.T, in, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+func TestLDVBaselineGobRoundTrip(t *testing.T) {
+	// No empty inner slices: gob decodes them as nil, and real baselines
+	// always carry at least one binned distance per point.
+	in := &LDVBaseline{perPoint: [][]float64{{1, 2, 3}, {4.5}, {0, 6}}}
+	var out LDVBaseline
+	gobRoundTrip(t, in, &out)
+	if !reflect.DeepEqual(in.perPoint, out.perPoint) {
+		t.Errorf("perPoint = %v, want %v", out.perPoint, in.perPoint)
+	}
+	if out.NumPoints() != 3 {
+		t.Errorf("NumPoints = %d, want 3", out.NumPoints())
+	}
+}
+
+func TestSetEvaluationGobRoundTrip(t *testing.T) {
+	in := SetEvaluation{
+		Set: BarrierPointSet{
+			Run: 2, Threads: 4, TotalPoints: 7, TotalInstructions: 1000,
+			Selected: []SelectedPoint{{Index: 1, Multiplier: 3.5, Instructions: 120}},
+		},
+		X86: &Validation{AvgAbsErrPct: [4]float64{1, 2, 3, 4}},
+	}
+	var out SetEvaluation
+	gobRoundTrip(t, &in, &out)
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip diverged:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+// TestSetEvaluationGobPreservesARMErr checks the two properties reports
+// depend on: the message string is verbatim and errors.Is still matches
+// ErrRegionCountMismatch, for both the bare sentinel and a wrapped one.
+func TestSetEvaluationGobPreservesARMErr(t *testing.T) {
+	wrapped := fmt.Errorf("core: set has 7 barrier points, collection has 9: %w",
+		ErrRegionCountMismatch)
+	for _, in := range []error{ErrRegionCountMismatch, wrapped} {
+		eval := SetEvaluation{ARMErr: in}
+		var out SetEvaluation
+		gobRoundTrip(t, &eval, &out)
+		if out.ARMErr == nil {
+			t.Fatalf("ARMErr lost for %v", in)
+		}
+		if got, want := out.ARMErr.Error(), in.Error(); got != want {
+			t.Errorf("ARMErr message = %q, want %q", got, want)
+		}
+		if !errors.Is(out.ARMErr, ErrRegionCountMismatch) {
+			t.Errorf("decoded ARMErr %v does not match ErrRegionCountMismatch", out.ARMErr)
+		}
+	}
+}
+
+func TestSetEvaluationGobNilARMErrStaysNil(t *testing.T) {
+	var out SetEvaluation
+	gobRoundTrip(t, &SetEvaluation{}, &out)
+	if out.ARMErr != nil {
+		t.Errorf("ARMErr = %v, want nil", out.ARMErr)
+	}
+}

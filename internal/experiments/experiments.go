@@ -11,8 +11,10 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"barrierpoint/internal/apps"
+	"barrierpoint/internal/cachestore"
 	"barrierpoint/internal/core"
 	"barrierpoint/internal/resultcache"
 	"barrierpoint/internal/sched"
@@ -70,14 +72,44 @@ func (c Config) withDefaults() Config {
 type Runner struct {
 	cfg   Config
 	cache *resultcache.Cache
+
+	// keyMu/keys memoise sched.StudyKey per (app, threads, vectorised):
+	// computing it builds both program variants for fingerprinting, which
+	// is cheap once but not free on every repeated (memory-hit) Study
+	// call of a sweep.
+	keyMu sync.Mutex
+	keys  map[string]resultcache.Key
 }
+
+// runnerCacheEntries comfortably covers a full sweep: 11 apps × 4 thread
+// counts × a handful of artifacts per study.
+const runnerCacheEntries = 4096
 
 // NewRunner returns a Runner for the configuration.
 func NewRunner(cfg Config) *Runner {
-	// The cache bound comfortably covers a full sweep: 11 apps × 4 thread
-	// counts × a handful of artifacts per study.
-	return &Runner{cfg: cfg.withDefaults(), cache: resultcache.New(4096)}
+	return &Runner{cfg: cfg.withDefaults(), cache: resultcache.New(runnerCacheEntries)}
 }
+
+// NewPersistentRunner returns a Runner whose shared cache is backed by a
+// persistent store rooted at dir: separate batch invocations (and a
+// bpserved instance) pointed at the same directory share discovery runs,
+// collections, and whole studies across processes. maxBytes bounds the
+// store on disk (0 = unbounded). The caller must Close the runner to
+// flush pending writes.
+func NewPersistentRunner(cfg Config, dir string, maxBytes int64) (*Runner, error) {
+	store, err := cachestore.Open(dir, cachestore.Options{MaxBytes: maxBytes})
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg.withDefaults(), cache: resultcache.NewWith(resultcache.Config{
+		MaxEntries: runnerCacheEntries,
+		Store:      store,
+	})}, nil
+}
+
+// Close flushes pending cache write-behinds and closes the backing store;
+// a no-op for memory-only runners.
+func (r *Runner) Close() error { return r.cache.Close() }
 
 // Config returns the runner's effective configuration.
 func (r *Runner) Config() Config { return r.cfg }
@@ -88,25 +120,39 @@ func (r *Runner) CacheStats() resultcache.Stats { return r.cache.Stats() }
 // Study returns the cached cross-architecture study for one configuration,
 // running it on the scheduler on first use.
 func (r *Runner) Study(app string, threads int, vectorised bool) (*core.StudyResult, error) {
-	key := resultcache.NewKey("runner-study", app,
-		fmt.Sprintf("t=%d v=%v", threads, vectorised))
+	a, err := apps.ByName(app)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: study %s/%dt/vect=%v: %w", app, threads, vectorised, err)
+	}
+	req := sched.StudyRequest{
+		App:   app,
+		Build: a.Build,
+		Config: core.StudyConfig{
+			Threads:    threads,
+			Vectorised: vectorised,
+			Runs:       r.cfg.Runs,
+			Reps:       r.cfg.Reps,
+			Seed:       r.cfg.Seed ^ uint64(threads)<<32 ^ boolBit(vectorised)<<48 ^ hashName(app),
+			MaxK:       r.cfg.MaxK,
+		},
+	}
+	// Memoise under the scheduler's own whole-study key: it carries the
+	// program fingerprints and the full configuration, so a persistent
+	// entry goes stale when the workload changes (instead of silently
+	// serving an old binary's results), and the runner's entry is the
+	// same one sched.Run reads and writes — shared with bpserved. The
+	// outer Do stays for singleflight across concurrent Study calls
+	// (validations are not unit-cached); its cost is one redundant put of
+	// the already-stored result on a cold study, accepted over moving
+	// singleflight into sched.Run, which would couple cancellation of
+	// concurrent identical studies across otherwise independent callers.
+	key, err := r.studyKey(req)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: study %s/%dt/vect=%v: %w", app, threads, vectorised, err)
+	}
 	v, _, err := r.cache.Do(key, func() (any, error) {
-		a, err := apps.ByName(app)
-		if err != nil {
-			return nil, err
-		}
-		return sched.Run(context.Background(), sched.StudyRequest{
-			App:   app,
-			Build: a.Build,
-			Config: core.StudyConfig{
-				Threads:    threads,
-				Vectorised: vectorised,
-				Runs:       r.cfg.Runs,
-				Reps:       r.cfg.Reps,
-				Seed:       r.cfg.Seed ^ uint64(threads)<<32 ^ boolBit(vectorised)<<48 ^ hashName(app),
-				MaxK:       r.cfg.MaxK,
-			},
-		}, sched.Options{Workers: r.cfg.Workers, Cache: r.cache})
+		return sched.Run(context.Background(), req,
+			sched.Options{Workers: r.cfg.Workers, Cache: r.cache})
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: study %s/%dt/vect=%v: %w", app, threads, vectorised, err)
@@ -131,6 +177,31 @@ func (r *Runner) Collect(app string, build core.ProgramBuilder, cfg core.Collect
 	return sched.Collect(context.Background(), sched.CollectRequest{
 		App: app, Build: build, Config: cfg,
 	}, sched.Options{Workers: r.cfg.Workers, Cache: r.cache})
+}
+
+// studyKey returns (computing once per configuration) the whole-study
+// cache key for a request. A runner's requests are fully determined by
+// (app, threads, vectorised) — the remaining config fields come from
+// r.cfg — so that triple is the memo key.
+func (r *Runner) studyKey(req sched.StudyRequest) (resultcache.Key, error) {
+	memo := fmt.Sprintf("%s/%d/%v", req.App, req.Config.Threads, req.Config.Vectorised)
+	r.keyMu.Lock()
+	key, ok := r.keys[memo]
+	r.keyMu.Unlock()
+	if ok {
+		return key, nil
+	}
+	key, err := sched.StudyKey(req)
+	if err != nil {
+		return "", err
+	}
+	r.keyMu.Lock()
+	if r.keys == nil {
+		r.keys = make(map[string]resultcache.Key)
+	}
+	r.keys[memo] = key
+	r.keyMu.Unlock()
+	return key, nil
 }
 
 func boolBit(b bool) uint64 {

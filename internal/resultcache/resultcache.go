@@ -9,6 +9,11 @@
 // share work even when submitted by different clients. The cache is safe
 // for concurrent use and deduplicates in-flight computations: concurrent
 // requests for the same key run the computation once and share the result.
+//
+// A Cache may be backed by a persistent Store (internal/cachestore): misses
+// read through to the store and fresh results are written behind to it by a
+// background spiller, so a restarted process finds its previous work on
+// disk instead of recomputing it.
 package resultcache
 
 import (
@@ -38,6 +43,33 @@ func NewKey(parts ...string) Key {
 	return Key(hex.EncodeToString(h.Sum(nil)))
 }
 
+// Store is a persistent, content-addressed artifact store a Cache can be
+// backed by. Implementations must be safe for concurrent use; the
+// canonical implementation is internal/cachestore.
+type Store interface {
+	// Get returns the decoded value for the key, if present.
+	Get(Key) (any, bool, error)
+	// Put serialises and stores the value.
+	Put(Key, any) error
+	// Stats reports the store's counters.
+	Stats() StoreStats
+	// Close releases the store.
+	Close() error
+}
+
+// StoreStats is a point-in-time snapshot of a backing Store's counters.
+type StoreStats struct {
+	Entries        int    `json:"entries"`
+	Bytes          int64  `json:"bytes"`
+	MaxBytes       int64  `json:"max_bytes"`
+	Hits           uint64 `json:"hits"`
+	Misses         uint64 `json:"misses"`
+	Writes         uint64 `json:"writes"`
+	Evictions      uint64 `json:"evictions"`
+	EvictedBytes   int64  `json:"evicted_bytes"`
+	DroppedCorrupt uint64 `json:"dropped_corrupt"`
+}
+
 // Stats is a point-in-time snapshot of the cache's counters.
 type Stats struct {
 	Hits      uint64 `json:"hits"`
@@ -46,12 +78,26 @@ type Stats struct {
 	Evictions uint64 `json:"evictions"`
 	Entries   int    `json:"entries"`
 	MaxSize   int    `json:"max_size"`
+	// Bytes approximates the heap held by the cached values; MaxBytes is
+	// the optional in-memory byte bound (0 = entry bound only).
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes,omitempty"`
+	// DiskHits counts memory misses served from the backing store, Spills
+	// counts entries written behind to it, and SpillErrors counts
+	// write-behinds that never reached it: failed writes, values with no
+	// registered codec, and writes dropped on queue overflow.
+	DiskHits    uint64 `json:"disk_hits"`
+	Spills      uint64 `json:"spills"`
+	SpillErrors uint64 `json:"spill_errors"`
+	// Disk is the backing store's own counters; nil without a store.
+	Disk *StoreStats `json:"disk,omitempty"`
 }
 
 // entry is one cached value in the LRU list.
 type entry struct {
-	key Key
-	val any
+	key  Key
+	val  any
+	size int64
 }
 
 // flight is one in-progress computation other goroutines can join.
@@ -61,8 +107,38 @@ type flight struct {
 	err  error
 }
 
+// spillItem is one value queued for write-behind to the store.
+type spillItem struct {
+	key Key
+	val any
+}
+
 // DefaultMaxEntries bounds a Cache constructed with New(0).
 const DefaultMaxEntries = 256
+
+// maxSpillQueue bounds the write-behind backlog. The queue retains value
+// references, so without a bound a slow store under fast compute would
+// hold an unbounded set of artifacts alive regardless of the cache's own
+// byte bound. Overflow drops the write (counted in SpillErrors) — the
+// value stays served from memory and is recomputed after a restart, the
+// normal cost of a cache miss.
+const maxSpillQueue = 1024
+
+// Config sizes a Cache built with NewWith.
+type Config struct {
+	// MaxEntries bounds the cache by entry count
+	// (DefaultMaxEntries if <= 0).
+	MaxEntries int
+	// MaxBytes optionally bounds the cache by the approximate in-memory
+	// size of its values (0 = no byte bound). Both bounds are enforced:
+	// the least recently used entries are evicted until the cache is
+	// within each.
+	MaxBytes int64
+	// Store optionally backs the cache with a persistent store: memory
+	// misses read through to it, puts are written behind to it by a
+	// background spiller, and Close flushes the spiller and closes it.
+	Store Store
+}
 
 // Cache is a bounded, thread-safe LRU of computation results. A nil
 // *Cache is valid and caches nothing, so call sites need not branch on
@@ -70,68 +146,130 @@ const DefaultMaxEntries = 256
 type Cache struct {
 	mu       sync.Mutex
 	max      int
+	maxBytes int64
 	ll       *list.List // front = most recently used
 	items    map[Key]*list.Element
 	inflight map[Key]*flight
+	bytes    int64
+	store    Store
 
 	hits, misses, puts, evictions uint64
+	diskHits, spills, spillErrors uint64
+
+	// Write-behind spiller state, under its own lock: the spiller
+	// goroutine never touches c.mu while holding spillMu, so enqueueing
+	// under c.mu cannot deadlock.
+	spillMu     sync.Mutex
+	spillCond   *sync.Cond
+	spillQ      []spillItem
+	spillBusy   bool // the spiller goroutine is mid-write
+	spillClosed bool
+	spillDone   chan struct{}
 }
 
 // New returns a cache bounded to maxEntries values (DefaultMaxEntries if
 // maxEntries <= 0).
 func New(maxEntries int) *Cache {
-	if maxEntries <= 0 {
-		maxEntries = DefaultMaxEntries
+	return NewWith(Config{MaxEntries: maxEntries})
+}
+
+// NewWith returns a cache sized by cfg, optionally backed by a persistent
+// store. Callers owning a store-backed cache must Close it to flush
+// pending write-behinds.
+func NewWith(cfg Config) *Cache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = DefaultMaxEntries
 	}
-	return &Cache{
-		max:      maxEntries,
+	c := &Cache{
+		max:      cfg.MaxEntries,
+		maxBytes: cfg.MaxBytes,
 		ll:       list.New(),
 		items:    make(map[Key]*list.Element),
 		inflight: make(map[Key]*flight),
+		store:    cfg.Store,
 	}
+	if c.store != nil {
+		c.spillCond = sync.NewCond(&c.spillMu)
+		c.spillDone = make(chan struct{})
+		go c.spillLoop()
+	}
+	return c
 }
 
 // Get returns the cached value for the key, marking it most recently used.
+// With a backing store, a memory miss reads through to disk and promotes
+// the loaded value into memory.
 func (c *Cache) Get(k Key) (any, bool) {
 	if c == nil {
 		return nil, false
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[k]
-	if !ok {
-		c.misses++
+	if el, ok := c.items[k]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, true
+	}
+	c.misses++
+	store := c.store
+	c.mu.Unlock()
+	if store == nil {
 		return nil, false
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*entry).val, true
+	v, ok, err := store.Get(k)
+	if err != nil || !ok {
+		return nil, false
+	}
+	c.promote(k, v)
+	return v, true
 }
 
-// Put stores the value, evicting the least recently used entry when the
-// bound is exceeded.
+// promote inserts a disk-loaded value into memory without re-spilling it
+// (it is already on disk).
+func (c *Cache) promote(k Key, v any) {
+	size := approxSize(v)
+	c.mu.Lock()
+	c.diskHits++
+	c.put(k, v, size)
+	c.mu.Unlock()
+}
+
+// Put stores the value, evicting the least recently used entries while
+// either bound is exceeded, and queues it for write-behind to the store.
 func (c *Cache) Put(k Key, v any) {
 	if c == nil {
 		return
 	}
+	size := approxSize(v)
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.put(k, v)
+	c.puts++
+	c.put(k, v, size)
+	c.mu.Unlock()
+	c.enqueueSpill(k, v)
 }
 
-// put stores the value; the caller holds c.mu.
-func (c *Cache) put(k Key, v any) {
-	c.puts++
+// put stores the value; the caller holds c.mu and accounts c.puts itself
+// (disk promotions are not puts). Both bounds are enforced on every
+// store, including replacements — a key updated to a larger value can
+// push the cache past its byte bound just like an insert can.
+func (c *Cache) put(k Key, v any, size int64) {
 	if el, ok := c.items[k]; ok {
-		el.Value.(*entry).val = v
+		e := el.Value.(*entry)
+		c.bytes += size - e.size
+		e.val, e.size = v, size
 		c.ll.MoveToFront(el)
-		return
+	} else {
+		c.items[k] = c.ll.PushFront(&entry{key: k, val: v, size: size})
+		c.bytes += size
 	}
-	c.items[k] = c.ll.PushFront(&entry{key: k, val: v})
-	for c.ll.Len() > c.max {
+	for c.ll.Len() > 0 &&
+		(c.ll.Len() > c.max || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
 		oldest := c.ll.Back()
+		e := oldest.Value.(*entry)
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*entry).key)
+		delete(c.items, e.key)
+		c.bytes -= e.size
 		c.evictions++
 	}
 }
@@ -139,9 +277,11 @@ func (c *Cache) put(k Key, v any) {
 // Do returns the cached value for the key, computing and storing it on a
 // miss. Concurrent calls for the same key run compute once; the others
 // block and share the outcome (counted as hits — the work was not
-// repeated). Errors are returned to every waiter but never cached, so a
-// failed computation is retried by the next caller. hit reports whether
-// the value was obtained without running compute in this call.
+// repeated). With a backing store the miss first reads through to disk;
+// a disk hit skips compute too. Errors are returned to every waiter but
+// never cached, so a failed computation is retried by the next caller.
+// hit reports whether the value was obtained without running compute in
+// this call.
 //
 // If compute panics (or exits its goroutine without returning, e.g. via
 // runtime.Goexit), the in-flight entry is removed and every waiter fails
@@ -193,17 +333,136 @@ func (c *Cache) Do(k Key, compute func() (any, error)) (v any, hit bool, err err
 			panic(r)
 		}
 	}()
+
+	if c.store != nil {
+		if sv, ok, serr := c.store.Get(k); serr == nil && ok {
+			size := approxSize(sv)
+			c.mu.Lock()
+			delete(c.inflight, k)
+			c.diskHits++
+			c.put(k, sv, size)
+			c.mu.Unlock()
+			f.val = sv
+			completed = true
+			close(f.done)
+			return sv, true, nil
+		}
+	}
+
 	f.val, f.err = compute()
 	completed = true
 
+	// Size outside the lock: approxSize walks the whole value and must
+	// not stall every other cache operation while it does.
+	var size int64
+	if f.err == nil {
+		size = approxSize(f.val)
+	}
 	c.mu.Lock()
 	delete(c.inflight, k)
 	if f.err == nil {
-		c.put(k, f.val)
+		c.puts++
+		c.put(k, f.val, size)
 	}
 	c.mu.Unlock()
 	close(f.done)
+	if f.err == nil {
+		c.enqueueSpill(k, f.val)
+	}
 	return f.val, false, f.err
+}
+
+// enqueueSpill hands a freshly computed value to the background spiller.
+// A full queue drops the write rather than blocking the compute path or
+// retaining unbounded references.
+func (c *Cache) enqueueSpill(k Key, v any) {
+	if c.store == nil {
+		return
+	}
+	c.spillMu.Lock()
+	if c.spillClosed || len(c.spillQ) >= maxSpillQueue {
+		dropped := !c.spillClosed
+		c.spillMu.Unlock()
+		if dropped {
+			c.mu.Lock()
+			c.spillErrors++
+			c.mu.Unlock()
+		}
+		return
+	}
+	c.spillQ = append(c.spillQ, spillItem{key: k, val: v})
+	c.spillMu.Unlock()
+	c.spillCond.Broadcast()
+}
+
+// spillLoop is the write-behind goroutine: it drains the queue into the
+// store until Close. One batch is written at a time; Flush waits for both
+// the queue and the in-progress batch.
+func (c *Cache) spillLoop() {
+	defer close(c.spillDone)
+	for {
+		c.spillMu.Lock()
+		for len(c.spillQ) == 0 && !c.spillClosed {
+			c.spillCond.Wait()
+		}
+		if len(c.spillQ) == 0 && c.spillClosed {
+			c.spillMu.Unlock()
+			return
+		}
+		batch := c.spillQ
+		c.spillQ = nil
+		c.spillBusy = true
+		c.spillMu.Unlock()
+
+		var ok, failed uint64
+		for _, item := range batch {
+			if err := c.store.Put(item.key, item.val); err != nil {
+				failed++
+			} else {
+				ok++
+			}
+		}
+		c.mu.Lock()
+		c.spills += ok
+		c.spillErrors += failed
+		c.mu.Unlock()
+
+		c.spillMu.Lock()
+		c.spillBusy = false
+		c.spillMu.Unlock()
+		c.spillCond.Broadcast()
+	}
+}
+
+// Flush blocks until every queued write-behind has reached the store.
+func (c *Cache) Flush() {
+	if c == nil || c.store == nil {
+		return
+	}
+	c.spillMu.Lock()
+	for len(c.spillQ) > 0 || c.spillBusy {
+		c.spillCond.Wait()
+	}
+	c.spillMu.Unlock()
+}
+
+// Close flushes pending write-behinds and closes the backing store. A
+// store-less cache needs no Close (it is a no-op); closing twice is safe.
+func (c *Cache) Close() error {
+	if c == nil || c.store == nil {
+		return nil
+	}
+	c.spillMu.Lock()
+	if c.spillClosed {
+		c.spillMu.Unlock()
+		<-c.spillDone
+		return nil
+	}
+	c.spillClosed = true
+	c.spillMu.Unlock()
+	c.spillCond.Broadcast()
+	<-c.spillDone
+	return c.store.Close()
 }
 
 // Len returns the number of cached entries.
@@ -222,13 +481,24 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Puts:      c.puts,
-		Evictions: c.evictions,
-		Entries:   c.ll.Len(),
-		MaxSize:   c.max,
+	st := Stats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Puts:        c.puts,
+		Evictions:   c.evictions,
+		Entries:     c.ll.Len(),
+		MaxSize:     c.max,
+		Bytes:       c.bytes,
+		MaxBytes:    c.maxBytes,
+		DiskHits:    c.diskHits,
+		Spills:      c.spills,
+		SpillErrors: c.spillErrors,
 	}
+	store := c.store
+	c.mu.Unlock()
+	if store != nil {
+		ss := store.Stats()
+		st.Disk = &ss
+	}
+	return st
 }

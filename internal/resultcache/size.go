@@ -1,0 +1,132 @@
+package resultcache
+
+import "reflect"
+
+// approxSize estimates the heap bytes held alive by a cached value. It is
+// deliberately approximate: padding is ignored, map overhead is a guess,
+// and values shared between entries (a StudyResult and the Collection it
+// embeds cached separately) are counted once per entry. What matters is
+// that the estimate scales with the real footprint so a byte bound keeps
+// a long-lived cache from growing without limit.
+func approxSize(v any) int64 {
+	if v == nil {
+		return 0
+	}
+	return sizeOf(reflect.ValueOf(v), make(map[uintptr]bool), 0)
+}
+
+const (
+	wordBytes = 8
+	// headerBytes approximates a string or slice header plus allocator
+	// slack.
+	headerBytes = 24
+	// maxSizeDepth stops runaway recursion on deeply nested or adversarial
+	// values; cached artifacts are a few levels deep.
+	maxSizeDepth = 64
+)
+
+func sizeOf(v reflect.Value, seen map[uintptr]bool, depth int) int64 {
+	if depth > maxSizeDepth {
+		return 0
+	}
+	switch v.Kind() {
+	case reflect.Pointer:
+		if v.IsNil() {
+			return wordBytes
+		}
+		p := v.Pointer()
+		if seen[p] {
+			return wordBytes
+		}
+		seen[p] = true
+		return wordBytes + sizeOf(v.Elem(), seen, depth+1)
+	case reflect.Interface:
+		if v.IsNil() {
+			return 2 * wordBytes
+		}
+		return 2*wordBytes + sizeOf(v.Elem(), seen, depth+1)
+	case reflect.Slice:
+		if v.IsNil() {
+			return headerBytes
+		}
+		p := v.Pointer()
+		if seen[p] {
+			return headerBytes
+		}
+		seen[p] = true
+		elem := v.Type().Elem()
+		if isFlat(elem) {
+			return headerBytes + int64(v.Cap())*int64(elem.Size())
+		}
+		n := int64(headerBytes)
+		for i := 0; i < v.Len(); i++ {
+			n += sizeOf(v.Index(i), seen, depth+1)
+		}
+		return n
+	case reflect.Array:
+		if isFlat(v.Type()) {
+			return int64(v.Type().Size())
+		}
+		var n int64
+		for i := 0; i < v.Len(); i++ {
+			n += sizeOf(v.Index(i), seen, depth+1)
+		}
+		return n
+	case reflect.String:
+		return headerBytes + int64(v.Len())
+	case reflect.Map:
+		if v.IsNil() {
+			return wordBytes
+		}
+		p := v.Pointer()
+		if seen[p] {
+			return wordBytes
+		}
+		seen[p] = true
+		n := int64(headerBytes)
+		iter := v.MapRange()
+		for iter.Next() {
+			// Per-bucket overhead on top of key and value payloads.
+			n += 2*wordBytes +
+				sizeOf(iter.Key(), seen, depth+1) +
+				sizeOf(iter.Value(), seen, depth+1)
+		}
+		return n
+	case reflect.Struct:
+		if isFlat(v.Type()) {
+			return int64(v.Type().Size())
+		}
+		var n int64
+		for i := 0; i < v.NumField(); i++ {
+			n += sizeOf(v.Field(i), seen, depth+1)
+		}
+		return n
+	case reflect.Chan, reflect.Func, reflect.UnsafePointer:
+		return wordBytes
+	default:
+		return int64(v.Type().Size())
+	}
+}
+
+// isFlat reports whether a type holds no indirections, so its deep size is
+// exactly Type().Size() and flat slices can be sized without iterating.
+func isFlat(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Uintptr, reflect.Float32, reflect.Float64,
+		reflect.Complex64, reflect.Complex128:
+		return true
+	case reflect.Array:
+		return isFlat(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if !isFlat(t.Field(i).Type) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,305 @@
+package resultcache
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeStore is an in-memory Store for exercising the cache's read-through
+// and write-behind paths without disk.
+type fakeStore struct {
+	mu      sync.Mutex
+	m       map[Key]any
+	gets    int
+	puts    int
+	failPut error
+	closed  bool
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{m: make(map[Key]any)} }
+
+func (s *fakeStore) Get(k Key) (any, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gets++
+	v, ok := s.m[k]
+	return v, ok, nil
+}
+
+func (s *fakeStore) Put(k Key, v any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	if s.failPut != nil {
+		return s.failPut
+	}
+	s.m[k] = v
+	return nil
+}
+
+func (s *fakeStore) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{Entries: len(s.m)}
+}
+
+func (s *fakeStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+func (s *fakeStore) has(k Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.m[k]
+	return ok
+}
+
+func TestByteBoundEvictsLRU(t *testing.T) {
+	unit := approxSize(strings.Repeat("v", 100))
+	c := NewWith(Config{MaxEntries: 100, MaxBytes: 3 * unit})
+	for _, k := range []string{"a", "b", "c"} {
+		c.Put(Key(k), strings.Repeat(k, 100))
+	}
+	if st := c.Stats(); st.Evictions != 0 || st.Bytes != 3*unit {
+		t.Fatalf("filled to bound: %+v", st)
+	}
+	c.Get(Key("a")) // a becomes most recently used
+	c.Put(Key("d"), strings.Repeat("d", 100))
+
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 3 || st.Bytes != 3*unit {
+		t.Errorf("after exceeding the byte bound: %+v", st)
+	}
+	if _, ok := c.Get(Key("b")); ok {
+		t.Error("b was LRU and should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(Key(k)); !ok {
+			t.Errorf("%s should have survived", k)
+		}
+	}
+}
+
+func TestByteBoundEnforcedOnReplacement(t *testing.T) {
+	unit := approxSize(strings.Repeat("v", 100))
+	c := NewWith(Config{MaxEntries: 100, MaxBytes: 3 * unit})
+	for _, k := range []string{"a", "b", "c"} {
+		c.Put(Key(k), strings.Repeat(k, 100))
+	}
+	// Replacing a's value with one 3x the size exceeds the bound without
+	// inserting a new key; the LRU entries must still be evicted.
+	c.Put(Key("a"), strings.Repeat("a", 300))
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Errorf("bytes = %d exceeds bound %d after replacement", st.Bytes, st.MaxBytes)
+	}
+	if _, ok := c.Get(Key("a")); !ok {
+		t.Error("the replaced (most recently used) entry should survive")
+	}
+	if _, ok := c.Get(Key("b")); ok {
+		t.Error("LRU entry b should have been evicted to honour the bound")
+	}
+}
+
+func TestBytesAccountingOnReplaceAndEvict(t *testing.T) {
+	c := NewWith(Config{MaxEntries: 2})
+	c.Put(Key("a"), strings.Repeat("a", 50))
+	c.Put(Key("a"), strings.Repeat("a", 200)) // replace adjusts, not adds
+	want := approxSize(strings.Repeat("a", 200))
+	if st := c.Stats(); st.Bytes != want {
+		t.Errorf("bytes after replace = %d, want %d", st.Bytes, want)
+	}
+	c.Put(Key("b"), "bb")
+	c.Put(Key("c"), "cc") // evicts a
+	want = approxSize("bb") + approxSize("cc")
+	if st := c.Stats(); st.Bytes != want || st.Entries != 2 {
+		t.Errorf("bytes after evict = %+v, want %d", st, want)
+	}
+}
+
+func TestGetReadsThroughToStore(t *testing.T) {
+	store := newFakeStore()
+	store.m[Key("k")] = "disk value"
+	c := NewWith(Config{MaxEntries: 8, Store: store})
+	defer c.Close()
+
+	v, ok := c.Get(Key("k"))
+	if !ok || v != "disk value" {
+		t.Fatalf("read-through Get = %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.DiskHits != 1 || st.Misses != 1 {
+		t.Errorf("after read-through: %+v", st)
+	}
+	// The loaded value is promoted: the next Get is a pure memory hit.
+	if _, ok := c.Get(Key("k")); !ok {
+		t.Fatal("promoted value missing")
+	}
+	if c.Stats().DiskHits != 1 {
+		t.Error("second Get should not touch the store")
+	}
+	if got := store.gets; got != 1 {
+		t.Errorf("store.Get called %d times, want 1", got)
+	}
+}
+
+func TestDoReadsThroughAndSkipsCompute(t *testing.T) {
+	store := newFakeStore()
+	store.m[Key("k")] = 42
+	c := NewWith(Config{MaxEntries: 8, Store: store})
+	defer c.Close()
+
+	computed := false
+	v, hit, err := c.Do(Key("k"), func() (any, error) {
+		computed = true
+		return nil, errors.New("should not run")
+	})
+	if err != nil || !hit || v != 42 {
+		t.Fatalf("Do = %v, %v, %v", v, hit, err)
+	}
+	if computed {
+		t.Error("compute ran despite a disk hit")
+	}
+	// Disk hits are not re-spilled: the value is already on disk.
+	c.Flush()
+	if store.puts != 0 {
+		t.Errorf("store.Put called %d times for a disk hit", store.puts)
+	}
+}
+
+func TestDoSpillsFreshResults(t *testing.T) {
+	store := newFakeStore()
+	c := NewWith(Config{MaxEntries: 8, Store: store})
+	defer c.Close()
+
+	if _, _, err := c.Do(Key("k"), func() (any, error) { return "fresh", nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.Flush()
+	if !store.has(Key("k")) {
+		t.Fatal("fresh result never reached the store")
+	}
+	if st := c.Stats(); st.Spills != 1 || st.SpillErrors != 0 {
+		t.Errorf("spill counters: %+v", st)
+	}
+}
+
+func TestPutSpillsAndErrorsAreCounted(t *testing.T) {
+	store := newFakeStore()
+	store.failPut = errors.New("disk full")
+	c := NewWith(Config{MaxEntries: 8, Store: store})
+	defer c.Close()
+
+	c.Put(Key("k"), "v")
+	c.Flush()
+	if st := c.Stats(); st.Spills != 0 || st.SpillErrors != 1 {
+		t.Errorf("failed spill counters: %+v", st)
+	}
+	// The value still lives in memory.
+	if _, ok := c.Get(Key("k")); !ok {
+		t.Error("value lost after spill failure")
+	}
+}
+
+func TestDoErrorNotSpilled(t *testing.T) {
+	store := newFakeStore()
+	c := NewWith(Config{MaxEntries: 8, Store: store})
+	defer c.Close()
+	c.Do(Key("k"), func() (any, error) { return nil, errors.New("boom") })
+	c.Flush()
+	if store.puts != 0 {
+		t.Errorf("failed computation spilled %d times", store.puts)
+	}
+}
+
+func TestCloseFlushesThenClosesStore(t *testing.T) {
+	store := newFakeStore()
+	c := NewWith(Config{MaxEntries: 8, Store: store})
+	for i := 0; i < 20; i++ {
+		c.Put(Key(fmt.Sprintf("k%d", i)), i)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if store.puts != 20 {
+		t.Errorf("Close flushed %d of 20 pending spills", store.puts)
+	}
+	if !store.closed {
+		t.Error("Close did not close the store")
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestStatsIncludesStoreSnapshot(t *testing.T) {
+	store := newFakeStore()
+	c := NewWith(Config{MaxEntries: 8, Store: store})
+	defer c.Close()
+	c.Put(Key("k"), "v")
+	c.Flush()
+	st := c.Stats()
+	if st.Disk == nil || st.Disk.Entries != 1 {
+		t.Errorf("Stats().Disk = %+v, want 1 entry", st.Disk)
+	}
+	var plain *Cache
+	if plain.Stats().Disk != nil {
+		t.Error("nil cache should not report disk stats")
+	}
+}
+
+func TestNilCacheFlushCloseInert(t *testing.T) {
+	var c *Cache
+	c.Flush()
+	if err := c.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+	storeless := New(4)
+	storeless.Flush()
+	if err := storeless.Close(); err != nil {
+		t.Errorf("store-less Close: %v", err)
+	}
+}
+
+// TestConcurrentDoWithStore drives overlapping Do calls against a
+// store-backed cache (run under -race): in-flight dedup, read-through and
+// write-behind must not race.
+func TestConcurrentDoWithStore(t *testing.T) {
+	store := newFakeStore()
+	// Seed half the keys on "disk" so both the read-through and the
+	// compute+spill paths are exercised.
+	for i := 0; i < 8; i += 2 {
+		store.m[Key(fmt.Sprintf("k%d", i))] = i
+	}
+	c := NewWith(Config{MaxEntries: 4, Store: store}) // small: forces evictions too
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := (g + i) % 8
+				k := Key(fmt.Sprintf("k%d", id))
+				v, _, err := c.Do(k, func() (any, error) { return id, nil })
+				if err != nil {
+					t.Errorf("Do: %v", err)
+					return
+				}
+				if v.(int) != id {
+					t.Errorf("Do(%s) = %v", k, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"barrierpoint/internal/cachestore"
+	"barrierpoint/internal/resultcache"
+)
+
+// openBackedCache builds a store-backed cache over dir, as bpserved and
+// the batch runners do.
+func openBackedCache(t *testing.T, dir string) *resultcache.Cache {
+	t.Helper()
+	store, err := cachestore.Open(dir, cachestore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resultcache.NewWith(resultcache.Config{MaxEntries: 128, Store: store})
+}
+
+// TestWarmRestartServesStudyFromDisk is the persistence acceptance test:
+// a study computed into a cache directory is served by a fresh process
+// (fresh cache + reopened store) with zero recomputed units and a result
+// deep-equal — and summary byte-identical — to the cold run's.
+func TestWarmRestartServesStudyFromDisk(t *testing.T) {
+	req := testRequest(t)
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	cold := openBackedCache(t, dir)
+	want, err := Run(ctx, req, Options{Workers: 4, Cache: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Close(); err != nil { // flush write-behinds, as a shutdown does
+		t.Fatal(err)
+	}
+
+	warm := openBackedCache(t, dir)
+	defer warm.Close()
+	got, err := Run(ctx, req, Options{Workers: 4, Cache: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := warm.Stats()
+	if st.Puts != 0 {
+		t.Errorf("warm run recomputed %d units", st.Puts)
+	}
+	if st.DiskHits == 0 {
+		t.Errorf("warm run never touched the store: %+v", st)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("disk-served StudyResult diverges from the cold run")
+	}
+	coldSum, _ := json.Marshal(want.Summarise())
+	warmSum, _ := json.Marshal(got.Summarise())
+	if string(coldSum) != string(warmSum) {
+		t.Errorf("summaries differ:\ncold: %s\nwarm: %s", coldSum, warmSum)
+	}
+}
+
+// TestWarmRestartSharesDiscoveryUnits checks unit-level (not just
+// whole-study) persistence: a larger discovery after a restart reuses the
+// earlier runs from disk and computes only the new ones.
+func TestWarmRestartSharesDiscoveryUnits(t *testing.T) {
+	base := testRequest(t)
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	small := DiscoverRequest{App: base.App, Build: base.Build, Config: base.Config.Discovery()}
+	small.Config.Runs = 3
+	cold := openBackedCache(t, dir)
+	coldSets, err := Discover(ctx, small, Options{Workers: 4, Cache: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	large := small
+	large.Config.Runs = 5
+	warm := openBackedCache(t, dir)
+	defer warm.Close()
+	warmSets, err := Discover(ctx, large, Options{Workers: 4, Cache: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := warm.Stats()
+	if st.DiskHits != 3 {
+		t.Errorf("disk hits = %d, want the 3 persisted runs", st.DiskHits)
+	}
+	if st.Puts != 2 {
+		t.Errorf("computed units = %d, want only the 2 new runs", st.Puts)
+	}
+	if !reflect.DeepEqual(coldSets, warmSets[:3]) {
+		t.Error("disk-served discovery runs diverge from the cold run")
+	}
+}

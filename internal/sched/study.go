@@ -62,6 +62,34 @@ func discKey(kind, fp string, cfg core.DiscoveryConfig, run int) resultcache.Key
 	return resultcache.NewKey(kind, fp, fmt.Sprintf("%#v run=%d", cfg, run))
 }
 
+// StudyKey returns the content-addressed key under which Run caches the
+// whole study's result: the program content for both collection variants
+// (workloads like HPGMG-FV build different programs per ISA) plus the
+// normalised configuration. Anything that can change the StudyResult —
+// including the simulated program itself — is folded in, so entries in a
+// persistent store go stale (and recompute) when the workload or
+// configuration changes instead of silently serving old results.
+func StudyKey(req StudyRequest) (resultcache.Key, error) {
+	key, _, _, err := studyKeyFingerprints(req)
+	return key, err
+}
+
+// studyKeyFingerprints computes the whole-study key and the two per-variant
+// program fingerprints it is built from; Run reuses the fingerprints for
+// the discovery and collection units (the discovery variant equals the
+// x86_64 collection variant), so each program is built once for keying.
+func studyKeyFingerprints(req StudyRequest) (key resultcache.Key, fpX86, fpARM string, err error) {
+	cfg := req.Config.WithDefaults()
+	colCfgs := cfg.Collections()
+	if fpX86, err = fingerprint(req.App, req.Build, cfg.Threads, colCfgs[0].Variant); err != nil {
+		return "", "", "", err
+	}
+	if fpARM, err = fingerprint(req.App, req.Build, cfg.Threads, colCfgs[1].Variant); err != nil {
+		return "", "", "", err
+	}
+	return resultcache.NewKey("study", fpX86, fpARM, fmt.Sprintf("%#v", cfg)), fpX86, fpARM, nil
+}
+
 // StudyUnits returns how many units of work a study decomposes into: one
 // per discovery run, one per native collection, one per set validation.
 // It is the denominator of Options.Progress reports for Run, computed from
@@ -93,22 +121,14 @@ func Run(ctx context.Context, req StudyRequest, opts Options) (*core.StudyResult
 	// One unit per discovery run, one per collection, one per validation.
 	prog := newProgress(opts.Progress, StudyUnits(cfg))
 
-	// The whole-study key covers the program content for both collection
-	// variants: workloads like HPGMG-FV build different programs per ISA.
-	// The two fingerprints are reused by the discovery and collection
-	// units below (the discovery variant equals the x86_64 collection
-	// variant), so each program is built once for keying.
 	var studyKey resultcache.Key
 	var fpX86, fpARM string
 	if cache != nil {
 		var err error
-		if fpX86, err = fingerprint(req.App, req.Build, cfg.Threads, colCfgs[0].Variant); err != nil {
+		studyKey, fpX86, fpARM, err = studyKeyFingerprints(req)
+		if err != nil {
 			return nil, err
 		}
-		if fpARM, err = fingerprint(req.App, req.Build, cfg.Threads, colCfgs[1].Variant); err != nil {
-			return nil, err
-		}
-		studyKey = resultcache.NewKey("study", fpX86, fpARM, fmt.Sprintf("%#v", cfg))
 		if v, ok := cache.Get(studyKey); ok {
 			prog.finish()
 			return v.(*core.StudyResult), nil

@@ -59,7 +59,7 @@ func waitState(t *testing.T, ts *httptest.Server, id string, want State) JobStat
 // study is cancelled promptly via DELETE, and the progress observed on
 // the way is monotonically increasing.
 func TestCancelRunningStudy(t *testing.T) {
-	s := New(Config{Workers: 1, Executors: 1, QueueDepth: 8, CacheSize: 64})
+	s := mustNew(t, Config{Workers: 1, Executors: 1, QueueDepth: 8, CacheSize: 64})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close(); s.Close() })
 
@@ -134,7 +134,7 @@ func TestCancelRunningStudy(t *testing.T) {
 // TestCancelQueuedStudy: a job cancelled before an executor claims it is
 // terminal immediately and never runs.
 func TestCancelQueuedStudy(t *testing.T) {
-	s := New(Config{Workers: 1, Executors: 1, QueueDepth: 8, CacheSize: 64})
+	s := mustNew(t, Config{Workers: 1, Executors: 1, QueueDepth: 8, CacheSize: 64})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close(); s.Close() })
 
@@ -167,7 +167,7 @@ func TestCancelQueuedStudy(t *testing.T) {
 // priority order (high first), falling back to submission order within a
 // band.
 func TestPriorityOrdering(t *testing.T) {
-	s := New(Config{Workers: 1, Executors: 1, QueueDepth: 8, CacheSize: 64})
+	s := mustNew(t, Config{Workers: 1, Executors: 1, QueueDepth: 8, CacheSize: 64})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close(); s.Close() })
 
@@ -206,7 +206,7 @@ func TestPriorityOrdering(t *testing.T) {
 // TestDefaultPriorityBand: submissions that omit the priority inherit the
 // server's configured band.
 func TestDefaultPriorityBand(t *testing.T) {
-	s := New(Config{Workers: 1, Executors: 1, QueueDepth: 8, CacheSize: 16, DefaultPriority: 7})
+	s := mustNew(t, Config{Workers: 1, Executors: 1, QueueDepth: 8, CacheSize: 16, DefaultPriority: 7})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close(); s.Close() })
 
@@ -229,7 +229,7 @@ func TestDefaultPriorityBand(t *testing.T) {
 // clamped to the same ±MaxPriority bound clients are held to, so default
 // traffic can never outrank every explicit priority.
 func TestDefaultPriorityClamped(t *testing.T) {
-	s := New(Config{Workers: 1, Executors: 1, QueueDepth: 4, CacheSize: 16, DefaultPriority: 10 * MaxPriority})
+	s := mustNew(t, Config{Workers: 1, Executors: 1, QueueDepth: 4, CacheSize: 16, DefaultPriority: 10 * MaxPriority})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close(); s.Close() })
 	st := postStudy(t, ts, `{"app":"MCB","threads":2,"runs":2,"reps":3,"seed":1}`)
@@ -256,7 +256,7 @@ func TestPriorityValidation(t *testing.T) {
 // rejected with 503 instead of sitting "queued" forever with no executor
 // left to run them.
 func TestSubmitAfterCloseRejected(t *testing.T) {
-	s := New(Config{Workers: 1, Executors: 1, QueueDepth: 8, CacheSize: 16})
+	s := mustNew(t, Config{Workers: 1, Executors: 1, QueueDepth: 8, CacheSize: 16})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close(); s.Close() })
 
@@ -275,7 +275,7 @@ func TestSubmitAfterCloseRejected(t *testing.T) {
 // TestCloseCancelsQueuedJobs: jobs still queued at Close are terminal
 // (cancelled) when it returns — not stuck "queued".
 func TestCloseCancelsQueuedJobs(t *testing.T) {
-	s := New(Config{Workers: 1, Executors: 1, QueueDepth: 8, CacheSize: 64})
+	s := mustNew(t, Config{Workers: 1, Executors: 1, QueueDepth: 8, CacheSize: 64})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() { ts.Close() })
 
@@ -298,7 +298,7 @@ func TestCloseCancelsQueuedJobs(t *testing.T) {
 // Whatever the interleaving, Close must leave every registered job in a
 // terminal state and later submissions rejected.
 func TestConcurrentSubmitCancelClose(t *testing.T) {
-	s := New(Config{Workers: 2, Executors: 2, QueueDepth: 16, CacheSize: 64})
+	s := mustNew(t, Config{Workers: 2, Executors: 2, QueueDepth: 16, CacheSize: 64})
 
 	var wg sync.WaitGroup
 	for g := 0; g < 4; g++ {

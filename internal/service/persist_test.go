@@ -1,0 +1,95 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// getReport fetches a finished study's plain-text report.
+func getReport(t *testing.T, ts *httptest.Server, id string) string {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/studies/%s/report", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report %s: status %d: %s", id, resp.StatusCode, buf.String())
+	}
+	return buf.String()
+}
+
+// TestServerRestartServesStudiesFromDisk is the service-level acceptance
+// test for cache persistence: a restarted server pointed at the same
+// cache directory serves a previously computed study from disk with zero
+// recomputation and a byte-identical report.
+func TestServerRestartServesStudiesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"app":"MCB","threads":2,"runs":3,"reps":5,"seed":13}`
+	cfg := Config{Workers: 4, Executors: 1, QueueDepth: 8, CacheSize: 64, CacheDir: dir}
+
+	// Cold server: compute the study, keep its report, shut down (which
+	// flushes the write-behind spiller to disk).
+	s1 := mustNew(t, cfg)
+	ts1 := httptest.NewServer(s1.Handler())
+	st := postStudy(t, ts1, body)
+	waitDone(t, ts1, st.ID)
+	coldReport := getReport(t, ts1, st.ID)
+	ts1.Close()
+	s1.Close()
+
+	// Warm server: same directory, fresh process state.
+	s2 := mustNew(t, cfg)
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() { ts2.Close(); s2.Close() })
+
+	st2 := postStudy(t, ts2, body)
+	waitDone(t, ts2, st2.ID)
+
+	h := getHealth(t, ts2)
+	if h.Cache.Puts != 0 {
+		t.Errorf("warm server recomputed %d units", h.Cache.Puts)
+	}
+	if h.Cache.DiskHits == 0 {
+		t.Errorf("warm server never read the store: %+v", h.Cache)
+	}
+	if h.Cache.Disk == nil {
+		t.Fatalf("healthz missing disk store stats: %+v", h.Cache)
+	}
+	if h.Cache.Disk.Entries == 0 || h.Cache.Disk.Bytes == 0 {
+		t.Errorf("disk stats empty after warm restart: %+v", *h.Cache.Disk)
+	}
+
+	warmReport := getReport(t, ts2, st2.ID)
+	if warmReport != coldReport {
+		t.Errorf("disk-served report is not byte-identical:\ncold:\n%s\nwarm:\n%s", coldReport, warmReport)
+	}
+}
+
+// TestHealthzReportsCachePressure checks the operator-facing counters:
+// entry count and byte totals appear alongside hit/miss counters even
+// without a persistent store.
+func TestHealthzReportsCachePressure(t *testing.T) {
+	_, ts := newTestServer(t)
+	st := postStudy(t, ts, `{"app":"MCB","threads":2,"runs":3,"reps":5,"seed":17}`)
+	waitDone(t, ts, st.ID)
+
+	h := getHealth(t, ts)
+	if h.Cache.Entries == 0 {
+		t.Errorf("healthz entries = 0 after a study: %+v", h.Cache)
+	}
+	if h.Cache.Bytes == 0 {
+		t.Errorf("healthz bytes = 0 after a study: %+v", h.Cache)
+	}
+	if h.Cache.MaxSize == 0 {
+		t.Errorf("healthz max_size = 0: %+v", h.Cache)
+	}
+	if h.Cache.Disk != nil {
+		t.Errorf("store-less server should not report disk stats: %+v", h.Cache.Disk)
+	}
+}

@@ -18,8 +18,12 @@
 // started, the study's context is cancelled if it has.
 //
 // Studies are memoised through the server's resultcache, so repeated or
-// overlapping submissions skip recomputation; /healthz reports the hit
-// and miss counters.
+// overlapping submissions skip recomputation. With Config.CacheDir set
+// the cache is backed by a persistent store (internal/cachestore): results
+// survive restarts and are shared with batch runs pointed at the same
+// directory, and Close flushes pending write-behinds before returning.
+// /healthz reports the cache's hit/miss/byte counters and, when present,
+// the disk store's.
 package service
 
 import (
@@ -34,6 +38,7 @@ import (
 	"time"
 
 	"barrierpoint/internal/apps"
+	"barrierpoint/internal/cachestore"
 	"barrierpoint/internal/core"
 	"barrierpoint/internal/resultcache"
 	"barrierpoint/internal/sched"
@@ -195,6 +200,16 @@ type Config struct {
 	// CacheSize bounds the result cache in entries
 	// (default resultcache.DefaultMaxEntries).
 	CacheSize int
+	// CacheBytes optionally bounds the in-memory result cache by its
+	// approximate size in bytes (0 = entry bound only).
+	CacheBytes int64
+	// CacheDir, when non-empty, backs the result cache with a persistent
+	// store rooted at that directory: results survive restarts and are
+	// shared with other processes pointed at the same directory.
+	CacheDir string
+	// CacheMaxBytes bounds the persistent store's on-disk size
+	// (0 = unbounded). Only meaningful with CacheDir.
+	CacheMaxBytes int64
 	// MaxJobs bounds how many job records are retained (default 1024).
 	// When exceeded, the oldest finished jobs are pruned; queued and
 	// running jobs are never dropped.
@@ -244,8 +259,9 @@ type Server struct {
 	maxJobs int
 }
 
-// New starts a Server with cfg's sizing.
-func New(cfg Config) *Server {
+// New starts a Server with cfg's sizing. The only fallible part is
+// opening the persistent cache store when CacheDir is set.
+func New(cfg Config) (*Server, error) {
 	if cfg.Executors <= 0 {
 		cfg.Executors = 2
 	}
@@ -267,10 +283,22 @@ func New(cfg Config) *Server {
 	// The default band obeys the same bound as client-supplied
 	// priorities, or default traffic could outrank every explicit band.
 	cfg.DefaultPriority = min(max(cfg.DefaultPriority, -MaxPriority), MaxPriority)
+	var store resultcache.Store
+	if cfg.CacheDir != "" {
+		st, err := cachestore.Open(cfg.CacheDir, cachestore.Options{MaxBytes: cfg.CacheMaxBytes})
+		if err != nil {
+			return nil, fmt.Errorf("service: opening cache store: %w", err)
+		}
+		store = st
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:       sched.Options{Workers: cfg.Workers},
-		cache:      resultcache.New(cfg.CacheSize),
+		opts: sched.Options{Workers: cfg.Workers},
+		cache: resultcache.NewWith(resultcache.Config{
+			MaxEntries: cfg.CacheSize,
+			MaxBytes:   cfg.CacheBytes,
+			Store:      store,
+		}),
 		now:        cfg.Now,
 		logf:       cfg.Logf,
 		defaultPri: cfg.DefaultPriority,
@@ -285,20 +313,25 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.execute()
 	}
-	return s
+	return s, nil
 }
 
 // Close stops the service: the queue is closed first (new submissions are
 // rejected with 503), running studies are cancelled, and once the
 // executors exit the jobs still queued are marked cancelled. Closing the
 // queue before waiting means no job can slip in after the drain and sit
-// "queued" forever with no executor left to run it.
+// "queued" forever with no executor left to run it. Finally the result
+// cache is closed, which flushes pending write-behinds to the persistent
+// store — results computed just before shutdown survive the restart.
 func (s *Server) Close() {
 	drained := s.queue.close()
 	s.cancel()
 	s.wg.Wait()
 	for _, j := range drained {
 		j.finish(s.now(), StateCancelled, errServerClosed)
+	}
+	if err := s.cache.Close(); err != nil {
+		s.logf("service: closing cache store: %v", err)
 	}
 }
 

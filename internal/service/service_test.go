@@ -11,9 +11,20 @@ import (
 	"time"
 )
 
+// mustNew builds a Server or fails the test (New is only fallible when a
+// cache directory is configured).
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(Config{Workers: 4, Executors: 2, QueueDepth: 8, CacheSize: 64})
+	s := mustNew(t, Config{Workers: 4, Executors: 2, QueueDepth: 8, CacheSize: 64})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()

@@ -1,0 +1,51 @@
+package barrierpoint_test
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"barrierpoint"
+)
+
+// TestPersistCacheSharesStudiesAcrossReopens drives the public persistent
+// cache: a study computed under one PersistCache lands on disk at close,
+// and a fresh PersistCache over the same directory serves an equal result.
+// (Recompute counters live below the public API; the unit-level guarantees
+// are pinned by internal/sched's warm-restart tests.)
+func TestPersistCacheSharesStudiesAcrossReopens(t *testing.T) {
+	dir := t.TempDir()
+	cfg := barrierpoint.StudyConfig{Threads: 2, Runs: 2, Reps: 5, Seed: 3}
+
+	closeCache, err := barrierpoint.PersistCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := barrierpoint.RunStudy("custom", customApp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := closeCache(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("PersistCache wrote nothing to the cache directory")
+	}
+
+	closeCache, err = barrierpoint.PersistCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeCache()
+	got, err := barrierpoint.RunStudy("custom", customApp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("disk-served study diverges from the cold run")
+	}
+}
