@@ -1,11 +1,19 @@
 GO ?= go
 
-.PHONY: ci fmt-check vet build test-short test test-race test-persist bench
+# BENCHTIME scales the bench-json micro-benchmarks; ci overrides it to 1x
+# so the harness is smoke-tested without paying for stable numbers.
+# BENCH_OUT is where bench-json writes its JSON; the ci smoke discards it
+# so a ci run never clobbers the committed performance trajectory.
+BENCHTIME ?= 1s
+BENCH_OUT ?= BENCH_pipeline.json
+
+.PHONY: ci fmt-check vet build test-short test test-race test-persist bench \
+	bench-json bench-json-smoke
 
 # ci is the tier-1 gate: formatting, static checks, build, fast tests,
-# the race detector over the concurrent subsystems, and the persistence
-# suite.
-ci: fmt-check vet build test-short test-race test-persist
+# the race detector over the concurrent subsystems, the persistence
+# suite, and a 1x smoke of the bench-json harness so it cannot bit-rot.
+ci: fmt-check vet build test-short test-race test-persist bench-json-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -27,9 +35,11 @@ test:
 
 # test-race gates the concurrency-heavy packages (scheduler fan-out,
 # in-flight result cache and write-behind spiller, disk store, job
-# queue/cancel/Close interleavings) under the race detector.
+# queue/cancel/Close interleavings) under the race detector — plus the
+# signature collectors (mem, pin), which are reused across regions and fan
+# out under the scheduler.
 test-race:
-	$(GO) test -race ./internal/sched/... ./internal/resultcache/... ./internal/service/... ./internal/cachestore/...
+	$(GO) test -race ./internal/sched/... ./internal/resultcache/... ./internal/service/... ./internal/cachestore/... ./internal/mem/... ./internal/pin/...
 
 # test-persist exercises the persistent cache store and every layer's
 # warm-restart path (store scan/eviction/corruption recovery, scheduler,
@@ -41,3 +51,20 @@ test-persist:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# bench-json records the signature-pipeline performance trajectory: the
+# mem/pin/sigvec micro-benchmarks plus end-to-end discovery, parsed into
+# BENCH_pipeline.json (fails if any benchmark fails or produces no
+# results).
+bench-json:
+	$(GO) test -run '^$$' -benchmem -benchtime $(BENCHTIME) \
+		-bench 'StackDist|^BenchmarkStream|BuildReference|BuilderSparse|BuilderDense|DiscoveryPipeline' \
+		./internal/mem ./internal/pin ./internal/sigvec . \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+
+# bench-json-smoke is the ci wiring: one iteration per benchmark, just to
+# prove the harness and the JSON emitter stay healthy; the output is
+# discarded rather than overwriting the recorded trajectory.
+bench-json-smoke: BENCHTIME = 1x
+bench-json-smoke: BENCH_OUT = /dev/null
+bench-json-smoke: bench-json

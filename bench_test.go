@@ -155,6 +155,26 @@ func BenchmarkPinInstrumentedRunHPCG(b *testing.B) {
 	}
 }
 
+// BenchmarkDiscoveryPipeline measures end-to-end barrier point discovery —
+// the streaming signature pipeline this repository's hot path is built
+// around: instrumented execution (sparse BBV/LDV collection with
+// generation-reset stack distances), per-point signature projection, and
+// clustering, for one canonical plus one jittered run.
+func BenchmarkDiscoveryPipeline(b *testing.B) {
+	app, err := barrierpoint.AppByName("HPCG")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := barrierpoint.DefaultDiscovery(8, false, 42)
+	cfg.Runs = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := barrierpoint.Discover(app.Build, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkKMeansClustering measures SimPoint-style clustering of 1000
 // signature points.
 func BenchmarkKMeansClustering(b *testing.B) {

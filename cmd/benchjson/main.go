@@ -1,0 +1,142 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document, so the performance trajectory of the signature pipeline can be
+// recorded and diffed across commits:
+//
+//	go test -run '^$' -bench Pipeline -benchmem ./... | benchjson -out BENCH_pipeline.json
+//
+// Only benchmark result lines (and the pkg:/cpu: context lines) are
+// consumed; everything else — PASS, ok, warm-up output — is ignored, and
+// failing input (no benchmark lines, or a FAIL line) exits non-zero so CI
+// wiring cannot silently record an empty trajectory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Package    string  `json:"package,omitempty"`
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp/AllocsPerOp are present only under -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the emitted JSON shape.
+type Document struct {
+	CPU        string   `json:"cpu,omitempty"`
+	GoVersion  string   `json:"go_version,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc, failed, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: benchmark run reported FAIL")
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+
+	var w *os.File = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (Document, bool, error) {
+	var doc Document
+	var pkg string
+	failed := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+		case strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:"):
+			// context noise
+		case strings.HasPrefix(line, "FAIL"):
+			failed = true
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line, pkg); ok {
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	return doc, failed, sc.Err()
+}
+
+// parseBench parses one result line, e.g.
+//
+//	BenchmarkBuilderSparse-8   639954   2033 ns/op   0 B/op   0 allocs/op
+func parseBench(line, pkg string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	r := Result{Package: pkg, Name: fields[0]}
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Procs = procs
+			r.Name = r.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.Iterations = iters
+	// Remaining fields come in "<value> <unit>" pairs.
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		}
+	}
+	return r, sawNs
+}

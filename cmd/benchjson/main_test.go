@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: barrierpoint/internal/sigvec
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkBuildReference 	  159424	      7055 ns/op	    4608 B/op	       6 allocs/op
+BenchmarkBuilderSparse-8  	  639954	      2033 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	barrierpoint/internal/sigvec	3.1s
+pkg: barrierpoint/internal/mem
+BenchmarkStackDistAccess 	32065758	        74.74 ns/op
+PASS
+ok  	barrierpoint/internal/mem	2.4s
+`
+
+func TestParse(t *testing.T) {
+	doc, failed, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil || failed {
+		t.Fatalf("err=%v failed=%v", err, failed)
+	}
+	if doc.CPU == "" {
+		t.Error("cpu line not captured")
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	ref := doc.Benchmarks[0]
+	if ref.Name != "BenchmarkBuildReference" || ref.Package != "barrierpoint/internal/sigvec" ||
+		ref.Iterations != 159424 || ref.NsPerOp != 7055 ||
+		ref.BytesPerOp == nil || *ref.BytesPerOp != 4608 ||
+		ref.AllocsPerOp == nil || *ref.AllocsPerOp != 6 {
+		t.Errorf("reference line parsed as %+v", ref)
+	}
+	sparse := doc.Benchmarks[1]
+	if sparse.Name != "BenchmarkBuilderSparse" || sparse.Procs != 8 ||
+		sparse.AllocsPerOp == nil || *sparse.AllocsPerOp != 0 {
+		t.Errorf("-8 suffix line parsed as %+v", sparse)
+	}
+	mem := doc.Benchmarks[2]
+	if mem.Package != "barrierpoint/internal/mem" || mem.NsPerOp != 74.74 || mem.BytesPerOp != nil {
+		t.Errorf("no-benchmem line parsed as %+v", mem)
+	}
+}
+
+func TestParseFail(t *testing.T) {
+	_, failed, err := parse(bufio.NewScanner(strings.NewReader("FAIL\tbarrierpoint\t1s\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Error("FAIL line must be reported")
+	}
+}

@@ -96,6 +96,13 @@ func discoverySetup(cfg DiscoveryConfig) (isa.Variant, *machine.Machine, sigvec.
 	return variant, mach, opts, cfg.MaxK, nil
 }
 
+// legacySignaturePath switches discoverRun back to the pre-streaming
+// composition (dense vectors through the allocating sigvec.Build). It
+// exists solely for the golden-equivalence gate, which proves the
+// streaming sparse pipeline produces byte-identical study reports; it is
+// only set by tests in this package.
+var legacySignaturePath = false
+
 // discoverRun executes one instrumented discovery run and clusters it.
 // Run 0 is the canonical run: it collects LDVs and returns them as the
 // baseline for the jittered runs. Runs ≥ 1 reuse the supplied baseline.
@@ -132,23 +139,49 @@ func discoverRun(build ProgramBuilder, cfg DiscoveryConfig, run int, base *LDVBa
 	if run == 0 {
 		newBase = &LDVBaseline{}
 	}
+	// One reusable Builder serves every barrier point of the run: the only
+	// per-point allocation left is the signature vector itself, which the
+	// clustering owns. Jittered runs (run > 0) substitute the canonical
+	// run's dense LDV baseline under the streamed sparse BBV.
+	builder := sigvec.NewBuilder(opts)
+	var zeroLDV []float64 // for points past the canonical run's horizon
 	var points []simpoint.Point
 	var weights []float64
 	err = pin.Stream(prog, runCfg, pinOpts, func(s pin.Signature) {
-		ldv := s.LDV
 		if run == 0 {
-			newBase.perPoint = append(newBase.perPoint, append([]float64(nil), ldv...))
-		} else if opts.UseLDV {
+			newBase.perPoint = append(newBase.perPoint, append([]float64(nil), s.LDV...))
+		}
+		var vec []float64
+		if !legacySignaturePath {
+			vec = make([]float64, builder.Dims())
+		}
+		switch {
+		case legacySignaturePath:
+			ldv := s.LDV
+			if run > 0 && opts.UseLDV {
+				if s.Index < len(base.perPoint) {
+					ldv = base.perPoint[s.Index]
+				} else {
+					ldv = make([]float64, pin.NumDistBins*cfg.Threads)
+				}
+			}
+			vec = sigvec.Build(s.BBV, ldv, opts)
+		case run == 0:
+			builder.BuildSparseInto(vec,
+				s.BBVSparse.Idx, s.BBVSparse.Val, s.LDVSparse.Idx, s.LDVSparse.Val)
+		case opts.UseLDV:
+			ldv := zeroLDV
 			if s.Index < len(base.perPoint) {
 				ldv = base.perPoint[s.Index]
-			} else {
-				ldv = make([]float64, pin.NumDistBins*cfg.Threads)
+			} else if ldv == nil {
+				zeroLDV = make([]float64, pin.NumDistBins*cfg.Threads)
+				ldv = zeroLDV
 			}
+			builder.BuildSparseDenseInto(vec, s.BBVSparse.Idx, s.BBVSparse.Val, ldv)
+		default:
+			builder.BuildSparseInto(vec, s.BBVSparse.Idx, s.BBVSparse.Val, nil, nil)
 		}
-		points = append(points, simpoint.Point{
-			Vec:    sigvec.Build(s.BBV, ldv, opts),
-			Weight: s.Instructions,
-		})
+		points = append(points, simpoint.Point{Vec: vec, Weight: s.Instructions})
 		weights = append(weights, s.Instructions)
 	})
 	if err != nil {

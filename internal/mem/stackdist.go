@@ -10,79 +10,250 @@ const ColdDistance = -1
 // histogram of these distances per barrier point.
 //
 // The implementation is the classic time-stamp + Fenwick-tree algorithm:
-// O(log n) per access instead of the O(n) naive LRU stack walk.
+// O(log n) per access instead of the O(n) naive LRU stack walk. Two things
+// make it fit the collector's access pattern (~10k region boundaries per
+// discovery run, one Reset per boundary, working sets that are tiny
+// compared to the access count):
+//
+//   - The line→last-access map is an open-addressed table whose entries
+//     carry a generation stamp, so Reset is an O(1) generation bump that
+//     reuses the table storage instead of reallocating it.
+//   - Time stamps are periodically compacted: when most of the Fenwick
+//     tree's time slots belong to superseded accesses, live lines are
+//     renumbered to 1..Distinct() (preserving order, and therefore every
+//     future distance) instead of doubling the tree. Long regions cycling
+//     over a bounded working set stop paying rebuilds.
 type StackDist struct {
-	last  map[uint64]int // line -> time of most recent access (1-based)
-	bit   []int          // Fenwick tree over times; 1 marks "most recent access to its line"
-	point []byte         // point values backing the tree, for capacity growth
-	time  int
+	// Open-addressed line → time-of-most-recent-access table (1-based
+	// times). A slot is live only when its generation matches gen; Reset
+	// bumps gen, turning every slot vacant at once.
+	keys []uint64
+	vals []int32
+	gens []uint32
+	gen  uint32
+	live int
+	mask uint32
+
+	bit    []int32  // Fenwick tree over times; 1 marks "most recent access to its line"
+	point  []uint8  // marker per time, for rebuilds and compaction
+	lineAt []uint64 // lineAt[t] = line whose most recent access is t (valid iff point[t] != 0)
+	time   int32
 }
+
+const (
+	minTableSlots = 64
+	minTimeSlots  = 128
+)
 
 // NewStackDist returns an empty distance computer.
 func NewStackDist() *StackDist {
-	return &StackDist{last: make(map[uint64]int), bit: make([]int, 1), point: make([]byte, 1)}
+	return &StackDist{
+		keys:   make([]uint64, minTableSlots),
+		vals:   make([]int32, minTableSlots),
+		gens:   make([]uint32, minTableSlots),
+		gen:    1,
+		mask:   minTableSlots - 1,
+		bit:    make([]int32, minTimeSlots),
+		point:  make([]uint8, minTimeSlots),
+		lineAt: make([]uint64, minTimeSlots),
+	}
 }
 
-// grow doubles the tree capacity. A Fenwick tree cannot simply be appended
-// to (a new node covers a range of existing indices), so the tree is
-// rebuilt from the point values; the cost amortises to O(log n) per access.
-func (s *StackDist) grow(need int) {
-	capacity := len(s.bit)
-	for capacity <= need {
-		capacity *= 2
-	}
-	s.point = append(s.point, make([]byte, capacity-len(s.point))...)
-	s.bit = make([]int, capacity)
-	for t := 1; t < s.time; t++ {
-		if s.point[t] != 0 {
-			s.bitAdd(t, 1)
+// hashLine mixes a line address into a table index (splitmix64 finaliser).
+func hashLine(line uint64) uint64 {
+	line ^= line >> 33
+	line *= 0xff51afd7ed558ccd
+	line ^= line >> 33
+	line *= 0xc4ceb9fe1a85ec53
+	line ^= line >> 33
+	return line
+}
+
+// find probes for line and returns its slot. When the line is absent, the
+// returned slot is the vacant slot an insertion must use (the first slot
+// on the probe path whose generation is stale), keeping the invariant that
+// every live entry is reachable before any vacant slot.
+func (s *StackDist) find(line uint64) (slot uint32, ok bool) {
+	i := uint32(hashLine(line)) & s.mask
+	for {
+		if s.gens[i] != s.gen {
+			return i, false
 		}
+		if s.keys[i] == line {
+			return i, true
+		}
+		i = (i + 1) & s.mask
 	}
 }
 
-func (s *StackDist) bitAdd(i, delta int) {
-	for ; i < len(s.bit); i += i & (-i) {
+// growTable doubles the table and reinserts the live generation's entries.
+func (s *StackDist) growTable() {
+	oldKeys, oldVals, oldGens := s.keys, s.vals, s.gens
+	n := len(oldKeys) * 2
+	s.keys = make([]uint64, n)
+	s.vals = make([]int32, n)
+	s.gens = make([]uint32, n)
+	s.mask = uint32(n - 1)
+	for i, g := range oldGens {
+		if g != s.gen {
+			continue
+		}
+		slot, _ := s.find(oldKeys[i])
+		s.keys[slot] = oldKeys[i]
+		s.vals[slot] = oldVals[i]
+		s.gens[slot] = s.gen
+	}
+}
+
+func (s *StackDist) bitAdd(i, delta int32) {
+	for ; int(i) < len(s.bit); i += i & (-i) {
 		s.bit[i] += delta
 	}
 }
 
-func (s *StackDist) bitSum(i int) int {
-	var t int
+func (s *StackDist) bitSum(i int32) int32 {
+	var t int32
 	for ; i > 0; i -= i & (-i) {
 		t += s.bit[i]
 	}
 	return t
 }
 
+// ensureTime makes room for one more time stamp. When at least three
+// quarters of the used time slots are dead (superseded accesses), live
+// times are compacted to 1..live instead of doubling: renumbering
+// preserves the relative order of last accesses, so every future distance
+// is unchanged, and the tree stops growing once the working set
+// stabilises.
+func (s *StackDist) ensureTime() {
+	if int(s.time)+1 < len(s.bit) {
+		return
+	}
+	// Compact only when at least three quarters of the time slots are
+	// dead: compaction renumbers every live line (a table probe each), so
+	// a lazier threshold keeps its amortised cost well under one probe
+	// per access while still bounding the tree for stable working sets.
+	if s.live <= int(s.time)/4 {
+		s.compact()
+		return
+	}
+	capacity := len(s.bit)
+	for capacity <= int(s.time)+1 {
+		capacity *= 2
+	}
+	point := make([]uint8, capacity)
+	copy(point, s.point)
+	s.point = point
+	lineAt := make([]uint64, capacity)
+	copy(lineAt, s.lineAt)
+	s.lineAt = lineAt
+	s.bit = make([]int32, capacity)
+	for t := int32(1); t <= s.time; t++ {
+		if s.point[t] != 0 {
+			s.bitAdd(t, 1)
+		}
+	}
+}
+
+// compact renumbers the live times to 1..live, preserving order.
+func (s *StackDist) compact() {
+	var n int32
+	for t := int32(1); t <= s.time; t++ {
+		if s.point[t] == 0 {
+			continue
+		}
+		n++
+		line := s.lineAt[t]
+		s.lineAt[n] = line // n <= t, so this never clobbers an unread slot
+		slot, ok := s.find(line)
+		if ok {
+			s.vals[slot] = n
+		}
+	}
+	for t := int32(1); t <= n; t++ {
+		s.point[t] = 1
+	}
+	for t := n + 1; t <= s.time; t++ {
+		s.point[t] = 0
+	}
+	// All live markers now form the prefix 1..n: a Fenwick node i covers
+	// (i-lowbit(i), i], so its count is the clamped overlap with that
+	// prefix — rebuilt in O(capacity) without re-adding point by point.
+	for i := int32(1); int(i) < len(s.bit); i++ {
+		low := i & (-i)
+		cnt := n - (i - low)
+		if cnt < 0 {
+			cnt = 0
+		} else if cnt > low {
+			cnt = low
+		}
+		s.bit[i] = cnt
+	}
+	s.time = n
+}
+
 // Access records a reference to line and returns its reuse distance, or
 // ColdDistance for the first reference to that line. A distance of 0 means
 // the line was the most recently referenced line.
 func (s *StackDist) Access(line uint64) int {
+	s.ensureTime()
 	s.time++
-	if len(s.bit) <= s.time {
-		s.grow(s.time)
-	}
+	now := s.time
 	dist := ColdDistance
-	if t0, ok := s.last[line]; ok {
+	slot, ok := s.find(line)
+	if ok {
+		t0 := s.vals[slot]
 		// Distinct lines touched strictly after t0: each has exactly one
-		// "most recent" marker in (t0, time).
-		dist = s.bitSum(s.time-1) - s.bitSum(t0)
+		// "most recent" marker in (t0, now).
+		dist = int(s.bitSum(now-1) - s.bitSum(t0))
 		s.bitAdd(t0, -1)
 		s.point[t0] = 0
+		s.vals[slot] = now
+	} else {
+		s.keys[slot] = line
+		s.vals[slot] = now
+		s.gens[slot] = s.gen
+		s.live++
+		if s.live*2 >= len(s.keys) { // keep load under 1/2: short probes
+			s.growTable()
+		}
 	}
-	s.bitAdd(s.time, 1)
-	s.point[s.time] = 1
-	s.last[line] = s.time
+	s.bitAdd(now, 1)
+	s.point[now] = 1
+	s.lineAt[now] = line
 	return dist
 }
 
 // Distinct returns the number of distinct lines seen since the last Reset.
-func (s *StackDist) Distinct() int { return len(s.last) }
+func (s *StackDist) Distinct() int { return s.live }
 
-// Reset clears all history.
+// Reset clears all history. The table is invalidated by a generation bump
+// and the tree by zeroing only its used prefix, so the collector can reset
+// at every region boundary without reallocating (or re-growing) either.
 func (s *StackDist) Reset() {
-	s.last = make(map[uint64]int)
-	s.bit = make([]int, 1)
-	s.point = make([]byte, 1)
+	s.gen++
+	if s.gen == 0 { // generation wrap: stale stamps could collide, scrub once
+		for i := range s.gens {
+			s.gens[i] = 0
+		}
+		s.gen = 1
+	}
+	s.live = 0
+	used := int(s.time) + 1
+	if used > len(s.bit) {
+		used = len(s.bit)
+	}
+	for i := range s.bit[:used] {
+		s.bit[i] = 0
+	}
+	// bitAdd also incremented ancestor nodes above time; every node > time
+	// covering any t <= time lies on time's own update path, so clearing
+	// that chain scrubs the rest in O(log capacity).
+	for i := s.time; i > 0 && int(i) < len(s.bit); i += i & (-i) {
+		s.bit[i] = 0
+	}
+	for i := range s.point[:used] {
+		s.point[i] = 0
+	}
 	s.time = 0
 }

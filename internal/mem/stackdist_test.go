@@ -104,11 +104,133 @@ func TestStackDistCyclicSweep(t *testing.T) {
 	}
 }
 
+// TestStackDistPropertyMatchesNaive drives the fast implementation and the
+// naive LRU stack walk through the boundaries the streaming collector
+// exercises: table growth (wide line spaces), time-compaction (long
+// streams over small working sets, where most time stamps are dead), and
+// generation-based Reset at region boundaries.
+func TestStackDistPropertyMatchesNaive(t *testing.T) {
+	shapes := []struct {
+		name     string
+		space    uint64 // distinct-line space (small forces compaction, large forces growth)
+		steps    int
+		resetPct uint64 // chance in 1000 of a Reset between accesses
+	}{
+		{"compaction", 24, 4000, 0},
+		{"growth", 1 << 16, 3000, 0},
+		{"regions", 120, 3000, 8},
+		{"tiny-regions", 40, 2500, 60},
+		{"mixed", 1 << 12, 3000, 3},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			if err := quick.Check(func(seed uint64) bool {
+				fast := NewStackDist()
+				slow := &naiveStackDist{}
+				x := seed
+				for i := 0; i < sh.steps; i++ {
+					x = x*6364136223846793005 + 1442695040888963407
+					if sh.resetPct > 0 && (x>>13)%1000 < sh.resetPct {
+						fast.Reset()
+						slow.stack = slow.stack[:0]
+						continue
+					}
+					line := (x >> 33) % sh.space
+					if df, ds := fast.Access(line), slow.Access(line); df != ds {
+						t.Logf("seed %d step %d line %d: fast %d, naive %d", seed, i, line, df, ds)
+						return false
+					}
+					if fast.Distinct() != len(slow.stack) {
+						t.Logf("seed %d step %d: Distinct %d, naive %d", seed, i, fast.Distinct(), len(slow.stack))
+						return false
+					}
+				}
+				return true
+			}, &quick.Config{MaxCount: 8}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestStackDistCompactionTriggers pins down that a long stream over a small
+// working set compacts instead of growing the tree without bound.
+func TestStackDistCompactionTriggers(t *testing.T) {
+	s := NewStackDist()
+	const working = 16
+	for i := 0; i < 1_000_000; i++ {
+		s.Access(uint64(i % working))
+	}
+	if len(s.bit) > 4*minTimeSlots {
+		t.Errorf("tree grew to %d slots for a %d-line working set; compaction should bound it", len(s.bit), working)
+	}
+	// Distances must still be exact after many compactions.
+	for l := uint64(0); l < working; l++ {
+		if d := s.Access(l); d != working-1 {
+			t.Fatalf("cyclic reuse of %d after compactions: distance %d, want %d", l, d, working-1)
+		}
+	}
+}
+
+// TestStackDistResetReusesStorage verifies the generation-based Reset: no
+// reallocation of the table or tree across region boundaries.
+func TestStackDistResetReusesStorage(t *testing.T) {
+	s := NewStackDist()
+	for i := 0; i < 5000; i++ {
+		s.Access(uint64(i))
+	}
+	keysBefore, bitBefore := &s.keys[0], &s.bit[0]
+	s.Reset()
+	if &s.keys[0] != keysBefore || &s.bit[0] != bitBefore {
+		t.Error("Reset must reuse table and tree storage")
+	}
+	if s.Distinct() != 0 {
+		t.Error("Reset must clear history")
+	}
+	for i := 0; i < 100; i++ {
+		if d := s.Access(uint64(i)); d != ColdDistance {
+			t.Fatalf("line %d cold after Reset: got %d", i, d)
+		}
+	}
+}
+
+// TestStackDistGenerationWrap forces the uint32 generation counter past its
+// wrap point and checks stale stamps cannot resurrect old entries.
+func TestStackDistGenerationWrap(t *testing.T) {
+	s := NewStackDist()
+	s.Access(7)
+	s.gen = ^uint32(0) - 1
+	s.Reset() // gen -> max
+	s.Access(7)
+	s.Reset() // wraps: scrubs stamps, gen -> 1
+	if s.Distinct() != 0 {
+		t.Fatal("wrap Reset must clear history")
+	}
+	if d := s.Access(7); d != ColdDistance {
+		t.Errorf("line must be cold after generation wrap, got %d", d)
+	}
+}
+
 func BenchmarkStackDistAccess(b *testing.B) {
 	s := NewStackDist()
 	x := uint64(1)
 	for i := 0; i < b.N; i++ {
 		x = x*6364136223846793005 + 1442695040888963407
 		s.Access((x >> 33) % 4096)
+	}
+}
+
+// BenchmarkStackDistRegionCycle is the collector's real pattern: a burst of
+// accesses followed by a Reset at the region boundary.
+func BenchmarkStackDistRegionCycle(b *testing.B) {
+	s := NewStackDist()
+	x := uint64(1)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 512; j++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			s.Access((x >> 33) % 1024)
+		}
+		s.Reset()
 	}
 }

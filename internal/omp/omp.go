@@ -46,6 +46,41 @@ type Hooks struct {
 	RegionEnd func(r *trace.Region)
 }
 
+// Chain composes two hook sets: each returned callback invokes h's hook
+// first, then next's. Nil fields collapse to the other side's hook, so
+// chaining onto empty hooks adds no indirection. Instrumentation layers
+// (pin.Stream) use it to stack onto caller-supplied hooks without
+// per-field nil plumbing — and without the hazard of a newly added Hooks
+// field being forgotten by one of the hand-rolled chains.
+func (h Hooks) Chain(next Hooks) Hooks {
+	out := h
+	if h.RegionStart == nil {
+		out.RegionStart = next.RegionStart
+	} else if next.RegionStart != nil {
+		a, b := h.RegionStart, next.RegionStart
+		out.RegionStart = func(r *trace.Region) { a(r); b(r) }
+	}
+	if h.BlockExec == nil {
+		out.BlockExec = next.BlockExec
+	} else if next.BlockExec != nil {
+		a, b := h.BlockExec, next.BlockExec
+		out.BlockExec = func(t int, blk *trace.Block, n int64) { a(t, blk, n); b(t, blk, n) }
+	}
+	if h.Touch == nil {
+		out.Touch = next.Touch
+	} else if next.Touch != nil {
+		a, b := h.Touch, next.Touch
+		out.Touch = func(t int, tc trace.Touch) { a(t, tc); b(t, tc) }
+	}
+	if h.RegionEnd == nil {
+		out.RegionEnd = next.RegionEnd
+	} else if next.RegionEnd != nil {
+		a, b := h.RegionEnd, next.RegionEnd
+		out.RegionEnd = func(r *trace.Region) { a(r); b(r) }
+	}
+	return out
+}
+
 // Config parameterises one run.
 type Config struct {
 	Machine *machine.Machine

@@ -376,3 +376,67 @@ func TestSkipMemoryPreservesBlockHooks(t *testing.T) {
 		t.Error("BlockExec hooks must still fire with SkipMemory (BBV collection)")
 	}
 }
+
+func TestHooksChainOrderAndCoverage(t *testing.T) {
+	var order []string
+	mark := func(s string) func(*trace.Region) {
+		return func(*trace.Region) { order = append(order, s) }
+	}
+	first := Hooks{
+		RegionStart: mark("start1"),
+		RegionEnd:   mark("end1"),
+		BlockExec:   func(int, *trace.Block, int64) { order = append(order, "block1") },
+		Touch:       func(int, trace.Touch) { order = append(order, "touch1") },
+	}
+	second := Hooks{
+		RegionStart: mark("start2"),
+		RegionEnd:   mark("end2"),
+		BlockExec:   func(int, *trace.Block, int64) { order = append(order, "block2") },
+		Touch:       func(int, trace.Touch) { order = append(order, "touch2") },
+	}
+	h := first.Chain(second)
+	h.RegionStart(nil)
+	h.BlockExec(0, nil, 0)
+	h.Touch(0, trace.Touch{})
+	h.RegionEnd(nil)
+	want := []string{"start1", "start2", "block1", "block2", "touch1", "touch2", "end1", "end2"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+func TestHooksChainNilCollapse(t *testing.T) {
+	calls := 0
+	count := Hooks{RegionStart: func(*trace.Region) { calls++ }}
+	// Chaining onto empty hooks must reuse the function directly (no
+	// wrapper), and empty-side fields must stay nil.
+	h := count.Chain(Hooks{})
+	if h.BlockExec != nil || h.Touch != nil || h.RegionEnd != nil {
+		t.Error("nil fields on both sides must stay nil")
+	}
+	h.RegionStart(nil)
+	h = Hooks{}.Chain(count)
+	h.RegionStart(nil)
+	if calls != 2 {
+		t.Errorf("RegionStart fired %d times, want 2", calls)
+	}
+}
+
+func TestHooksChainInRun(t *testing.T) {
+	cfg := x86Config(2)
+	var order []string
+	inner := Hooks{RegionEnd: func(*trace.Region) { order = append(order, "inner") }}
+	outer := Hooks{RegionEnd: func(*trace.Region) { order = append(order, "outer") }}
+	cfg.Hooks = inner.Chain(outer)
+	if _, err := Run(buildProgram(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) < 2 || order[0] != "inner" || order[1] != "outer" {
+		t.Errorf("chained hooks fired as %v, want inner before outer per region", order)
+	}
+}

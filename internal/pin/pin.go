@@ -10,6 +10,7 @@ package pin
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 
 	"barrierpoint/internal/mem"
 	"barrierpoint/internal/omp"
@@ -36,6 +37,19 @@ func DistBin(dist int) int {
 	return b
 }
 
+// Sparse is an ordered sparse view of a signature vector: Val[k] is the
+// dense vector's entry at index Idx[k], Idx is strictly ascending, and
+// every omitted index is zero. Barrier-point vectors are extremely sparse
+// (a region touches a handful of the threads×blocks BBV dimensions), so
+// downstream consumers that iterate non-zeros — the sigvec projector —
+// skip the dense scan entirely. The ascending order makes sparse
+// consumption arithmetically identical to a dense in-order scan that skips
+// zeros, which the golden-equivalence gate relies on.
+type Sparse struct {
+	Idx []int32
+	Val []float64
+}
+
 // Signature is one barrier point's abstract characterisation.
 type Signature struct {
 	// Index is the barrier point's position in the execution (its region
@@ -48,6 +62,11 @@ type Signature struct {
 	// LDV has one dimension per (thread, distance bucket): how many data
 	// references fell into the bucket.
 	LDV []float64
+	// BBVSparse and LDVSparse are ordered sparse views over the same data
+	// as BBV and LDV. During Stream they alias the collector's scratch and
+	// are only valid inside the callback, like the dense slices.
+	BBVSparse Sparse
+	LDVSparse Sparse
 	// Instructions is the barrier point's total instruction weight.
 	Instructions float64
 }
@@ -68,11 +87,60 @@ type Options struct {
 	SkipLDV bool
 }
 
+// collector accumulates one region's signature with dirty-index tracking:
+// the dense arrays are allocated once, and only the entries a region
+// actually touched are gathered (for the sparse view) and re-zeroed at the
+// region boundary. A region touching b of the threads×nBlocks dimensions
+// pays O(b log b) per boundary instead of O(threads×nBlocks).
+type collector struct {
+	dense []float64
+	dirty []int32
+	vals  []float64 // sparse-view scratch, gathered in index order
+}
+
+func newCollector(n int) *collector {
+	return &collector{dense: make([]float64, n)}
+}
+
+// add accumulates w at index i, recording first touches. Entries only grow
+// (weights and bucket counts are non-negative), so a dimension becomes
+// dirty exactly once per region.
+func (c *collector) add(i int32, w float64) {
+	if w == 0 {
+		return
+	}
+	if c.dense[i] == 0 {
+		c.dirty = append(c.dirty, i)
+	}
+	c.dense[i] += w
+}
+
+// view sorts the dirty indices and returns the region's ordered sparse
+// view, aliasing the collector's scratch.
+func (c *collector) view() Sparse {
+	slices.Sort(c.dirty)
+	c.vals = c.vals[:0]
+	for _, i := range c.dirty {
+		c.vals = append(c.vals, c.dense[i])
+	}
+	return Sparse{Idx: c.dirty, Val: c.vals}
+}
+
+// reset zeroes exactly the touched entries, readying the next region.
+func (c *collector) reset() {
+	for _, i := range c.dirty {
+		c.dense[i] = 0
+	}
+	c.dirty = c.dirty[:0]
+}
+
 // Stream executes the program under instrumentation and invokes fn once
-// per barrier point with its signature. The signature's slices are only
-// valid during the callback; Stream reuses them for the next barrier
-// point. This keeps discovery over programs with ~10k regions at a few
-// megabytes instead of hundreds.
+// per barrier point with its signature. The signature's slices (dense and
+// sparse) are only valid during the callback; Stream reuses them for the
+// next barrier point. This keeps discovery over programs with ~10k regions
+// at a few megabytes instead of hundreds — and, with dirty-index tracking,
+// region boundaries cost proportional to what the region touched, not to
+// the full threads×blocks signature size.
 func Stream(p *trace.Program, cfg omp.Config, opts Options, fn func(Signature)) error {
 	nBlocks := len(p.Blocks)
 	if nBlocks == 0 {
@@ -80,9 +148,10 @@ func Stream(p *trace.Program, cfg omp.Config, opts Options, fn func(Signature)) 
 	}
 	threads := cfg.Threads
 
-	// Per-thread collectors, reset at every region boundary.
-	bbv := make([]float64, threads*nBlocks)
-	ldv := make([]float64, threads*NumDistBins)
+	// Per-thread collectors; dirty entries are cleared at every region
+	// boundary, the backing arrays live for the whole run.
+	bbv := newCollector(threads * nBlocks)
+	ldv := newCollector(threads * NumDistBins)
 	dists := make([]*mem.StackDist, threads)
 	for t := range dists {
 		dists[t] = mem.NewStackDist()
@@ -96,61 +165,47 @@ func Stream(p *trace.Program, cfg omp.Config, opts Options, fn func(Signature)) 
 		blockWeight[i] = cfg.Variant.ISA.Instructions(b.Mix)
 	}
 
-	prev := cfg.Hooks
-	cfg.Hooks = omp.Hooks{
-		RegionStart: func(r *trace.Region) {
-			for i := range bbv {
-				bbv[i] = 0
+	inst := omp.Hooks{
+		BlockExec: func(t int, b *trace.Block, n int64) {
+			w := float64(n) * blockWeight[b.ID]
+			bbv.add(int32(t*nBlocks+b.ID), w)
+			instr += w
+		},
+		RegionEnd: func(r *trace.Region) {
+			sig := Signature{
+				Index:        r.Index,
+				BBV:          bbv.dense,
+				BBVSparse:    bbv.view(),
+				Instructions: instr,
 			}
-			for i := range ldv {
-				ldv[i] = 0
+			if !opts.SkipLDV {
+				sig.LDV = ldv.dense
+				sig.LDVSparse = ldv.view()
 			}
+			fn(sig)
+			bbv.reset()
+			ldv.reset()
 			for _, d := range dists {
 				d.Reset()
 			}
 			instr = 0
-			if prev.RegionStart != nil {
-				prev.RegionStart(r)
-			}
-		},
-		BlockExec: func(t int, b *trace.Block, n int64) {
-			w := float64(n) * blockWeight[b.ID]
-			bbv[t*nBlocks+b.ID] += w
-			instr += w
-			if prev.BlockExec != nil {
-				prev.BlockExec(t, b, n)
-			}
-		},
-		RegionEnd: func(r *trace.Region) {
-			sig := Signature{Index: r.Index, BBV: bbv, Instructions: instr}
-			if !opts.SkipLDV {
-				sig.LDV = ldv
-			}
-			fn(sig)
-			if prev.RegionEnd != nil {
-				prev.RegionEnd(r)
-			}
 		},
 	}
 	if !opts.SkipLDV {
-		cfg.Hooks.Touch = func(t int, touch trace.Touch) {
+		inst.Touch = func(t int, touch trace.Touch) {
 			d := dists[t].Access(touch.Line)
-			ldv[t*NumDistBins+DistBin(d)]++
-			if prev.Touch != nil {
-				prev.Touch(t, touch)
-			}
+			ldv.add(int32(t*NumDistBins+DistBin(d)), 1)
 		}
-	} else if prev.Touch != nil {
-		cfg.Hooks.Touch = prev.Touch
 	}
+	cfg.Hooks = inst.Chain(cfg.Hooks)
 	_, err := omp.Run(p, cfg)
 	return err
 }
 
 // Collect executes the program under instrumentation and returns all
-// per-barrier-point signatures (with owned copies of the vectors). The run
-// configuration is the discovery configuration: the paper always discovers
-// on the x86_64 machine.
+// per-barrier-point signatures (with owned copies of the dense vectors and
+// sparse views). The run configuration is the discovery configuration: the
+// paper always discovers on the x86_64 machine.
 func Collect(p *trace.Program, cfg omp.Config) (*Profile, error) {
 	prof := &Profile{Program: p, Threads: cfg.Threads}
 	err := Stream(p, cfg, Options{}, func(s Signature) {
@@ -158,6 +213,8 @@ func Collect(p *trace.Program, cfg omp.Config) (*Profile, error) {
 			Index:        s.Index,
 			BBV:          append([]float64(nil), s.BBV...),
 			LDV:          append([]float64(nil), s.LDV...),
+			BBVSparse:    s.BBVSparse.clone(),
+			LDVSparse:    s.LDVSparse.clone(),
 			Instructions: s.Instructions,
 		})
 	})
@@ -165,6 +222,13 @@ func Collect(p *trace.Program, cfg omp.Config) (*Profile, error) {
 		return nil, err
 	}
 	return prof, nil
+}
+
+func (v Sparse) clone() Sparse {
+	return Sparse{
+		Idx: append([]int32(nil), v.Idx...),
+		Val: append([]float64(nil), v.Val...),
+	}
 }
 
 // TotalInstructions returns the instruction weight summed over all barrier

@@ -1,6 +1,7 @@
 package pin
 
 import (
+	"fmt"
 	"testing"
 
 	"barrierpoint/internal/isa"
@@ -264,5 +265,156 @@ func TestStreamChainsTouchHookWhenSkippingLDV(t *testing.T) {
 	}
 	if touches == 0 {
 		t.Error("pre-existing touch hooks must survive SkipLDV")
+	}
+}
+
+// TestDistBinBoundaries pins the bucket edges: the last bucket starts at
+// 2^18 lines (16 MiB of data) and also holds cold misses.
+func TestDistBinBoundaries(t *testing.T) {
+	cases := []struct{ dist, want int }{
+		{0, 0},
+		{1, 1},
+		{1<<18 - 1, NumDistBins - 2},
+		{1 << 18, NumDistBins - 1},
+		{mem.ColdDistance, NumDistBins - 1},
+	}
+	for _, c := range cases {
+		if got := DistBin(c.dist); got != c.want {
+			t.Errorf("DistBin(%d) = %d, want %d", c.dist, got, c.want)
+		}
+	}
+}
+
+// TestSparseViewsMatchDense checks the streaming sparse views: strictly
+// ascending indices, values equal to the dense entries, and exactly the
+// dense non-zeros covered.
+func TestSparseViewsMatchDense(t *testing.T) {
+	p := pinProgram()
+	regions := 0
+	err := Stream(p, discoveryConfig(2), Options{}, func(s Signature) {
+		regions++
+		for name, pair := range map[string]struct {
+			sparse Sparse
+			dense  []float64
+		}{"BBV": {s.BBVSparse, s.BBV}, "LDV": {s.LDVSparse, s.LDV}} {
+			if len(pair.sparse.Idx) != len(pair.sparse.Val) {
+				t.Fatalf("%s sparse: %d indices vs %d values", name, len(pair.sparse.Idx), len(pair.sparse.Val))
+			}
+			nonzero := 0
+			for _, v := range pair.dense {
+				if v != 0 {
+					nonzero++
+				}
+			}
+			if len(pair.sparse.Idx) != nonzero {
+				t.Fatalf("%s sparse has %d entries, dense has %d non-zeros", name, len(pair.sparse.Idx), nonzero)
+			}
+			for k, i := range pair.sparse.Idx {
+				if k > 0 && i <= pair.sparse.Idx[k-1] {
+					t.Fatalf("%s sparse indices not strictly ascending: %v", name, pair.sparse.Idx)
+				}
+				if pair.sparse.Val[k] != pair.dense[i] {
+					t.Fatalf("%s sparse[%d]=%g, dense[%d]=%g", name, k, pair.sparse.Val[k], i, pair.dense[i])
+				}
+				if pair.sparse.Val[k] == 0 {
+					t.Fatalf("%s sparse carries a zero at index %d", name, i)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regions != 3 {
+		t.Fatalf("streamed %d regions, want 3", regions)
+	}
+}
+
+// TestDenseZeroedBetweenRegions guards the dirty-tracking reset: region 1
+// runs only block b, so block a's BBV entries from region 0 must have been
+// cleared rather than leak into region 1's signature.
+func TestDenseZeroedBetweenRegions(t *testing.T) {
+	p := pinProgram()
+	prof, err := Collect(p, discoveryConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Points[1].BBV[0] != 0 {
+		t.Errorf("region 1 BBV leaks region 0's block a weight: %v", prof.Points[1].BBV)
+	}
+	if len(prof.Points[1].BBVSparse.Idx) != 1 || prof.Points[1].BBVSparse.Idx[0] != 1 {
+		t.Errorf("region 1 sparse BBV = %v, want only block b", prof.Points[1].BBVSparse)
+	}
+}
+
+// TestStreamSkipLDVSparse: BBV sparse views must still be emitted when LDV
+// collection is skipped, and LDV views must be empty.
+func TestStreamSkipLDVSparse(t *testing.T) {
+	p := pinProgram()
+	err := Stream(p, discoveryConfig(2), Options{SkipLDV: true}, func(s Signature) {
+		if len(s.BBVSparse.Idx) == 0 {
+			t.Fatal("SkipLDV must still emit sparse BBVs")
+		}
+		if s.LDVSparse.Idx != nil || s.LDV != nil {
+			t.Fatal("SkipLDV signatures must carry no LDV data")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func benchStreamProgram(regions int) *trace.Program {
+	p := trace.NewProgram("bench-stream")
+	d := p.AddData("data", 1<<14)
+	var mix isa.OpMix
+	mix[isa.IntOp] = 2
+	mix[isa.FPAdd] = 1
+	mix[isa.Load] = 1
+	mix[isa.Branch] = 1
+	blocks := make([]*trace.Block, 8)
+	for i := range blocks {
+		pattern := trace.Sequential
+		if i%2 == 1 {
+			pattern = trace.Strided
+		}
+		blocks[i] = p.AddBlock(trace.Block{
+			Name: fmt.Sprintf("b%d", i), Mix: mix, LinesPerIter: 0.7,
+			Pattern: pattern, StrideLines: 3, Data: d,
+		})
+	}
+	for r := 0; r < regions; r++ {
+		p.AddRegion(fmt.Sprintf("r%d", r),
+			trace.BlockExec{Block: blocks[r%len(blocks)], Trips: 600},
+			trace.BlockExec{Block: blocks[(r+3)%len(blocks)], Trips: 300})
+	}
+	p.Finalise()
+	return p
+}
+
+// BenchmarkStream measures the full instrumented collection hot path
+// (BBV + LDV with stack distances) over many short regions — the shape the
+// ~10k-region discovery runs stress.
+func BenchmarkStream(b *testing.B) {
+	p := benchStreamProgram(64)
+	cfg := discoveryConfig(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Stream(p, cfg, Options{}, func(Signature) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamSkipLDV measures the BBV-only jittered-discovery shape.
+func BenchmarkStreamSkipLDV(b *testing.B) {
+	p := benchStreamProgram(64)
+	cfg := discoveryConfig(4)
+	cfg.SkipMemory = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Stream(p, cfg, Options{SkipLDV: true}, func(Signature) {}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,229 @@
+package sigvec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Projector applies one seeded ±1 random projection repeatedly, the way
+// the discovery hot loop needs it: the projection rows (the per-input-index
+// {-1,+1} patterns Project derives by hashing on every call) are
+// materialised once and reused, L1 normalisation is folded into the
+// projection pass instead of materialising a normalised copy, and results
+// are written into caller-owned storage. One Projector serves every
+// barrier point of a run, so projecting a point allocates nothing.
+//
+// All entry points are bit-identical to Project(normalizeL1(v), dim, seed):
+// the same normalised values are accumulated in the same index order with
+// the same final scaling. The golden-equivalence gate in internal/core
+// rests on that.
+type Projector struct {
+	dim   int
+	seed  uint64
+	scale float64
+	rows  []float64 // rows[i*dim : (i+1)*dim] = projEntry(i, ·, seed)
+	nRows int
+}
+
+// NewProjector returns a projector onto dim dimensions for the seed.
+func NewProjector(dim int, seed uint64) *Projector {
+	if dim <= 0 {
+		panic(fmt.Sprintf("sigvec: non-positive projection dimension %d", dim))
+	}
+	return &Projector{dim: dim, seed: seed, scale: 1 / math.Sqrt(float64(dim))}
+}
+
+// Dim returns the projected dimension.
+func (p *Projector) Dim() int { return p.dim }
+
+// ensureRows extends the materialised projection matrix to n input rows.
+func (p *Projector) ensureRows(n int) {
+	for i := p.nRows; i < n; i++ {
+		for j := 0; j < p.dim; j++ {
+			p.rows = append(p.rows, projEntry(i, j, p.seed))
+		}
+	}
+	if n > p.nRows {
+		p.nRows = n
+	}
+}
+
+// accumulate adds x*row into out, 4-wide unrolled. The per-output-index
+// accumulation order is unchanged from the scalar loop, so results are
+// bit-identical; the unrolling only breaks the loop-carried bookkeeping
+// dependence so the FP adds on independent lanes pipeline.
+func accumulate(out, row []float64, x float64) {
+	n := len(out)
+	row = row[:n] // bounds-check hint
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		out[j] += x * row[j]
+		out[j+1] += x * row[j+1]
+		out[j+2] += x * row[j+2]
+		out[j+3] += x * row[j+3]
+	}
+	for ; j < n; j++ {
+		out[j] += x * row[j]
+	}
+}
+
+// ProjectInto writes the L1-normalised projection of dense v into out,
+// which must have length Dim. It allocates only to extend the cached
+// projection rows the first time a longer input is seen.
+func (p *Projector) ProjectInto(out, v []float64) {
+	p.checkOut(out)
+	var sum float64
+	for _, x := range v {
+		sum += math.Abs(x)
+	}
+	for j := range out {
+		out[j] = 0
+	}
+	if sum != 0 {
+		p.ensureRows(len(v))
+		for i, x := range v {
+			if x == 0 {
+				continue
+			}
+			if xn := x / sum; xn != 0 {
+				accumulate(out, p.rows[i*p.dim:(i+1)*p.dim], xn)
+			}
+		}
+	}
+	for j := range out {
+		out[j] *= p.scale
+	}
+}
+
+// ProjectSparseInto is ProjectInto over an ordered sparse view: val[k] is
+// the dense entry at index idx[k], idx is ascending, omitted entries are
+// zero. Because a dense pass both sums and accumulates in index order and
+// skips zeros, consuming the sparse view directly is bit-identical.
+func (p *Projector) ProjectSparseInto(out []float64, idx []int32, val []float64) {
+	p.checkOut(out)
+	if len(idx) != len(val) {
+		panic(fmt.Sprintf("sigvec: sparse view with %d indices, %d values", len(idx), len(val)))
+	}
+	var sum float64
+	for _, x := range val {
+		sum += math.Abs(x)
+	}
+	for j := range out {
+		out[j] = 0
+	}
+	if sum != 0 && len(idx) > 0 {
+		p.ensureRows(int(idx[len(idx)-1]) + 1)
+		for k, i := range idx {
+			x := val[k]
+			if x == 0 {
+				continue
+			}
+			if xn := x / sum; xn != 0 {
+				accumulate(out, p.rows[int(i)*p.dim:(int(i)+1)*p.dim], xn)
+			}
+		}
+	}
+	for j := range out {
+		out[j] *= p.scale
+	}
+}
+
+func (p *Projector) checkOut(out []float64) {
+	if len(out) != p.dim {
+		panic(fmt.Sprintf("sigvec: output length %d, want projection dimension %d", len(out), p.dim))
+	}
+}
+
+// Builder assembles whole signature vectors (the concatenation of the
+// projected components Options selects) with zero allocations per point.
+// It is the streaming counterpart of Build and produces bit-identical
+// vectors.
+type Builder struct {
+	opts Options
+	bbv  *Projector
+	ldv  *Projector
+}
+
+// NewBuilder returns a Builder for the options, applying the same
+// defaulting and validation as Build.
+func NewBuilder(opts Options) *Builder {
+	if !opts.UseBBV && !opts.UseLDV {
+		panic("sigvec: signature must use at least one component")
+	}
+	if opts.Dim == 0 {
+		opts.Dim = DefaultDim
+	}
+	b := &Builder{opts: opts}
+	if opts.UseBBV {
+		b.bbv = NewProjector(opts.Dim, opts.Seed^0xb1b1)
+	}
+	if opts.UseLDV {
+		b.ldv = NewProjector(opts.Dim, opts.Seed^0x1d1d)
+	}
+	return b
+}
+
+// Dims returns the length of the signature vectors the Builder produces.
+func (b *Builder) Dims() int {
+	n := 0
+	if b.opts.UseBBV {
+		n += b.opts.Dim
+	}
+	if b.opts.UseLDV {
+		n += b.opts.Dim
+	}
+	return n
+}
+
+// split carves out into the per-component destinations.
+func (b *Builder) split(out []float64) (bbv, ldv []float64) {
+	if len(out) != b.Dims() {
+		panic(fmt.Sprintf("sigvec: output length %d, want %d", len(out), b.Dims()))
+	}
+	if b.opts.UseBBV {
+		bbv, out = out[:b.opts.Dim], out[b.opts.Dim:]
+	}
+	if b.opts.UseLDV {
+		ldv = out
+	}
+	return bbv, ldv
+}
+
+// BuildInto writes the signature vector for dense bbv/ldv into out
+// (length Dims). Components Options disables are ignored.
+func (b *Builder) BuildInto(out, bbv, ldv []float64) {
+	dBBV, dLDV := b.split(out)
+	if b.opts.UseBBV {
+		b.bbv.ProjectInto(dBBV, bbv)
+	}
+	if b.opts.UseLDV {
+		b.ldv.ProjectInto(dLDV, ldv)
+	}
+}
+
+// BuildSparseInto writes the signature vector for ordered sparse BBV and
+// LDV views into out. The discovery hot path feeds pin.Stream's sparse
+// views straight through here: no densification, no per-point allocation.
+func (b *Builder) BuildSparseInto(out []float64, bbvIdx []int32, bbvVal []float64, ldvIdx []int32, ldvVal []float64) {
+	dBBV, dLDV := b.split(out)
+	if b.opts.UseBBV {
+		b.bbv.ProjectSparseInto(dBBV, bbvIdx, bbvVal)
+	}
+	if b.opts.UseLDV {
+		b.ldv.ProjectSparseInto(dLDV, ldvIdx, ldvVal)
+	}
+}
+
+// BuildSparseDenseInto writes the signature vector for a sparse BBV view
+// combined with a dense LDV — the jittered-discovery shape, where BBVs
+// stream from the instrumented run but LDVs are reused from the canonical
+// run's dense baseline.
+func (b *Builder) BuildSparseDenseInto(out []float64, bbvIdx []int32, bbvVal []float64, ldv []float64) {
+	dBBV, dLDV := b.split(out)
+	if b.opts.UseBBV {
+		b.bbv.ProjectSparseInto(dBBV, bbvIdx, bbvVal)
+	}
+	if b.opts.UseLDV {
+		b.ldv.ProjectInto(dLDV, ldv)
+	}
+}

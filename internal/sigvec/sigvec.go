@@ -82,6 +82,10 @@ func DefaultOptions(seed uint64) Options {
 // Build combines one barrier point's BBV and LDV into its signature
 // vector: each component is L1-normalised (so signatures compare shape,
 // not magnitude), projected to opts.Dim dimensions, and concatenated.
+//
+// Build is the allocating reference implementation; the streaming pipeline
+// uses a reusable Builder, which produces bit-identical vectors with zero
+// heap allocations per point (see the equivalence tests).
 func Build(bbv, ldv []float64, opts Options) []float64 {
 	if !opts.UseBBV && !opts.UseLDV {
 		panic("sigvec: signature must use at least one component")
