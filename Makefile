@@ -7,13 +7,14 @@ GO ?= go
 BENCHTIME ?= 1s
 BENCH_OUT ?= BENCH_pipeline.json
 
-.PHONY: ci fmt-check vet build test-short test test-race test-persist bench \
-	bench-json bench-json-smoke
+.PHONY: ci fmt-check vet build test-short test test-race test-persist \
+	test-dist bench bench-json bench-json-smoke
 
 # ci is the tier-1 gate: formatting, static checks, build, fast tests,
 # the race detector over the concurrent subsystems, the persistence
-# suite, and a 1x smoke of the bench-json harness so it cannot bit-rot.
-ci: fmt-check vet build test-short test-race test-persist bench-json-smoke
+# suite, the distributed-execution suite, and a 1x smoke of the
+# bench-json harness so it cannot bit-rot.
+ci: fmt-check vet build test-short test-race test-persist test-dist bench-json-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -49,13 +50,23 @@ test-persist:
 	$(GO) test -race ./internal/cachestore/...
 	$(GO) test -race -run 'Persist|WarmRestart|RestartServes' ./internal/sched/... ./internal/service/... ./internal/experiments/... .
 
+# test-dist exercises distributed execution end to end under the race
+# detector: an in-process worker + coordinator pair over httptest (golden
+# equivalence vs the local path, worker death mid-study, dead-fleet local
+# fallback, cancellation of in-flight remote units) plus the executor
+# layer's unit tests.
+test-dist:
+	$(GO) test -race -run 'Distributed|Worker|Executor|UnitRequest|LongPoll' \
+		./internal/sched/... ./internal/service/...
+
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # bench-json records the signature-pipeline performance trajectory: the
 # mem/pin/sigvec micro-benchmarks plus end-to-end discovery, parsed into
 # BENCH_pipeline.json (fails if any benchmark fails or produces no
-# results).
+# results). Each invocation APPENDS a run entry to the trajectory, so the
+# history across PRs is preserved; see cmd/benchjson.
 bench-json:
 	$(GO) test -run '^$$' -benchmem -benchtime $(BENCHTIME) \
 		-bench 'StackDist|^BenchmarkStream|BuildReference|BuilderSparse|BuilderDense|DiscoveryPipeline' \

@@ -4,6 +4,12 @@
 //
 //	go test -run '^$' -bench Pipeline -benchmem ./... | benchjson -out BENCH_pipeline.json
 //
+// The output file is a trajectory: `{"runs": [...]}` with one entry per
+// invocation, newest last. An existing file is appended to, never
+// overwritten — the point of the record is comparing runs across commits
+// — and a legacy single-run file (the pre-trajectory format) is wrapped
+// into the first entry. -label tags a run (e.g. a commit hash).
+//
 // Only benchmark result lines (and the pkg:/cpu: context lines) are
 // consumed; everything else — PASS, ok, warm-up output — is ignored, and
 // failing input (no benchmark lines, or a FAIL line) exits non-zero so CI
@@ -16,8 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Result is one parsed benchmark line.
@@ -32,15 +40,51 @@ type Result struct {
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
-// Document is the emitted JSON shape.
+// Document is one recorded benchmark run.
 type Document struct {
+	// RecordedAt and Label identify the run within a trajectory.
+	RecordedAt string   `json:"recorded_at,omitempty"`
+	Label      string   `json:"label,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
 	GoVersion  string   `json:"go_version,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
+// Trajectory is the on-disk shape: one entry per recorded run, newest
+// last.
+type Trajectory struct {
+	Runs []Document `json:"runs"`
+}
+
+// loadTrajectory reads an existing trajectory file. A missing or empty
+// file starts a fresh trajectory; a legacy single-run file becomes its
+// first entry; anything else unparseable is an error — appending must
+// never silently discard the recorded history.
+func loadTrajectory(path string) (Trajectory, error) {
+	var tr Trajectory
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return tr, nil
+		}
+		return tr, err
+	}
+	if len(data) == 0 {
+		return tr, nil
+	}
+	if err := json.Unmarshal(data, &tr); err == nil && tr.Runs != nil {
+		return tr, nil
+	}
+	var legacy Document
+	if err := json.Unmarshal(data, &legacy); err == nil && len(legacy.Benchmarks) > 0 {
+		return Trajectory{Runs: []Document{legacy}}, nil
+	}
+	return tr, fmt.Errorf("%s exists but is neither a trajectory nor a legacy run document", path)
+}
+
 func main() {
-	out := flag.String("out", "", "output file (default stdout)")
+	out := flag.String("out", "", "trajectory file to append the run to (default: write the single run to stdout)")
+	label := flag.String("label", "", "label for this run (e.g. a commit hash)")
 	flag.Parse()
 
 	doc, failed, err := parse(bufio.NewScanner(os.Stdin))
@@ -56,23 +100,70 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
 		os.Exit(1)
 	}
+	doc.Label = *label
 
-	var w *os.File = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+	if *out == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		w = f
+		return
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
+
+	doc.RecordedAt = time.Now().UTC().Format(time.RFC3339)
+	tr, err := loadTrajectory(*out)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	tr.Runs = append(tr.Runs, doc)
+	if err := writeTrajectory(*out, tr); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: recorded run %d in %s (%d benchmarks)\n",
+		len(tr.Runs), *out, len(doc.Benchmarks))
+}
+
+// writeTrajectory replaces the trajectory file atomically (temp file +
+// rename), so a crash or full disk mid-write can never destroy the
+// recorded history it just loaded. Non-regular targets (/dev/null in the
+// CI smoke, pipes) are written directly — there is no history to
+// preserve and renaming over a device would replace it.
+func writeTrajectory(path string, tr Trajectory) error {
+	marshal := func(w *os.File) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tr)
+	}
+	if fi, err := os.Stat(path); err == nil && !fi.Mode().IsRegular() {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_TRUNC, 0)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return marshal(f)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := marshal(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	// CreateTemp's 0600 would stick to the renamed file; the trajectory
+	// is a shared, committed artifact.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 func parse(sc *bufio.Scanner) (Document, bool, error) {

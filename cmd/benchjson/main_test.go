@@ -2,6 +2,9 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -56,5 +59,80 @@ func TestParseFail(t *testing.T) {
 	}
 	if !failed {
 		t.Error("FAIL line must be reported")
+	}
+}
+
+// TestLoadTrajectory pins the append semantics: a missing or empty file
+// starts fresh, a legacy single-run document becomes the trajectory's
+// first entry (so committed history survives the format change), an
+// existing trajectory is returned as-is, and garbage is an error rather
+// than a silent overwrite.
+func TestLoadTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+
+	tr, err := loadTrajectory(path)
+	if err != nil || len(tr.Runs) != 0 {
+		t.Fatalf("missing file: runs=%d err=%v", len(tr.Runs), err)
+	}
+
+	legacy := `{"cpu":"test-cpu","benchmarks":[{"name":"BenchmarkX","iterations":1,"ns_per_op":2}]}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err = loadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Runs) != 1 || tr.Runs[0].CPU != "test-cpu" || len(tr.Runs[0].Benchmarks) != 1 {
+		t.Fatalf("legacy document not wrapped: %+v", tr)
+	}
+
+	tr.Runs = append(tr.Runs, Document{Label: "second", Benchmarks: tr.Runs[0].Benchmarks})
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err = loadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Runs) != 2 || tr.Runs[1].Label != "second" {
+		t.Fatalf("trajectory round-trip lost runs: %+v", tr)
+	}
+
+	if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTrajectory(path); err == nil {
+		t.Error("garbage trajectory file must error, not be overwritten")
+	}
+}
+
+// TestWriteTrajectoryRoundTrip: the atomic write lands a loadable file
+// and leaves no temp litter behind.
+func TestWriteTrajectoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	want := Trajectory{Runs: []Document{{Label: "r1", Benchmarks: []Result{{Name: "BenchmarkX", Iterations: 1, NsPerOp: 2}}}}}
+	if err := writeTrajectory(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != 1 || got.Runs[0].Label != "r1" {
+		t.Fatalf("round-trip lost the run: %+v", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries after write, want just the trajectory", len(entries))
 	}
 }

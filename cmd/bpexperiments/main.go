@@ -11,7 +11,8 @@
 //	bpexperiments -exp table4          # one experiment
 //	bpexperiments -exp all             # everything (slow: full sweep)
 //	bpexperiments -exp fig2 -quick     # reduced sweep for a fast look
-//	bpexperiments -workers 16          # widen the scheduler
+//	bpexperiments -unit-workers 16     # widen the scheduler
+//	bpexperiments -workers host1:8081,host2:8081   # shard units across bpworkers
 //	bpexperiments -list                # available experiments
 package main
 
@@ -32,15 +33,17 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment name (see -list) or 'all'")
-		quick    = flag.Bool("quick", false, "reduced sweep: fewer discovery runs and thread counts")
-		seed     = flag.Uint64("seed", 2017, "experiment seed")
-		runs     = flag.Int("runs", 0, "override discovery runs (0 = preset)")
-		workers  = flag.Int("workers", 0, "total worker budget across experiments and per-study units (0 = GOMAXPROCS)")
-		serial   = flag.Bool("serial", false, "render experiments one at a time (same output, for timing comparisons)")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		cacheDir = flag.String("cache-dir", "", "persistent cache directory shared across invocations (empty = memory only)")
-		cacheMax = flag.Int64("cache-max-bytes", 0, "persistent cache size bound in bytes (0 = unbounded)")
+		exp         = flag.String("exp", "all", "experiment name (see -list) or 'all'")
+		quick       = flag.Bool("quick", false, "reduced sweep: fewer discovery runs and thread counts")
+		seed        = flag.Uint64("seed", 2017, "experiment seed")
+		runs        = flag.Int("runs", 0, "override discovery runs (0 = preset)")
+		unitWorkers = flag.Int("unit-workers", 0, "total worker budget across experiments and per-study units (0 = GOMAXPROCS)")
+		workers     = flag.String("workers", "", "comma-separated bpworker addresses (host:port,...) to shard units across (empty = in-process)")
+		winflight   = flag.Int("worker-inflight", 0, "concurrent units dispatched per remote worker (0 = default 4)")
+		serial      = flag.Bool("serial", false, "render experiments one at a time (same output, for timing comparisons)")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		cacheDir    = flag.String("cache-dir", "", "persistent cache directory shared across invocations (empty = memory only)")
+		cacheMax    = flag.Int64("cache-max-bytes", 0, "persistent cache size bound in bytes (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -65,12 +68,12 @@ func main() {
 		}
 	}
 
-	// -workers is one total budget, split between the two levels of
+	// -unit-workers is one total budget, split between the two levels of
 	// parallelism: `width` experiments render concurrently and each study
 	// inside them fans units across `budget/width` workers, so the product
 	// stays ≈ the budget instead of squaring it. A single experiment gets
 	// the whole budget for its per-study units.
-	budget := *workers
+	budget := *unitWorkers
 	if budget <= 0 {
 		budget = runtime.GOMAXPROCS(0)
 	}
@@ -91,6 +94,18 @@ func main() {
 		cfg.Runs = *runs
 	}
 	cfg.Workers = budget / width
+	// Distributed mode: study units are shipped to the bpworker fleet;
+	// the local budget then only bounds dispatch concurrency.
+	urls, err := sched.ParseWorkerList(*workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bpexperiments: -workers takes bpworker addresses (host:port,...); the local worker budget is -unit-workers: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.WorkerURLs = urls
+	cfg.WorkerInflight = *winflight
+	if len(cfg.WorkerURLs) > 0 {
+		fmt.Fprintf(os.Stderr, "[distributing units across %d workers]\n", len(cfg.WorkerURLs))
+	}
 	var runner *experiments.Runner
 	if *cacheDir != "" {
 		// A persistent cache makes separate invocations share work: the
@@ -127,7 +142,7 @@ func main() {
 		}
 	}
 	start := time.Now()
-	err := sched.ForEach(context.Background(), len(selected), width,
+	err = sched.ForEach(context.Background(), len(selected), width,
 		func(ctx context.Context, i int) error {
 			t0 := time.Now()
 			if err := selected[i].Run(runner, &outs[i]); err != nil {

@@ -1,6 +1,13 @@
 // Command bpserved serves the BarrierPoint study-execution subsystem over
 // HTTP: studies are submitted as JSON, run on the concurrent scheduler
-// with result caching, and polled until their report is ready.
+// with result caching, and polled (or long-polled with ?wait=) until
+// their report is ready.
+//
+// With -workers=host:port,... the server runs distributed: study units
+// are dispatched to a fleet of bpworker processes, with retry/backoff on
+// worker failure and local fallback when no worker is healthy. Sharing
+// one -cache-dir between the server and the fleet dedupes artifacts
+// fleet-wide.
 //
 // With -cache-dir the result cache is backed by a persistent
 // content-addressed store: computed studies survive restarts, and batch
@@ -13,13 +20,15 @@
 //
 // Usage:
 //
-//	bpserved -addr :8080 -workers 8 -executors 2 -cache 256 -priority 0 \
+//	bpserved -addr :8080 -unit-workers 8 -executors 2 -cache 256 -priority 0 \
 //	         -cache-dir /var/cache/bp -cache-max-bytes 1073741824
+//	bpserved -addr :8080 -workers 10.0.0.2:8081,10.0.0.3:8081 -cache-dir /mnt/bp
 //
 //	curl -s -X POST localhost:8080/studies \
 //	     -d '{"app":"MCB","threads":8,"runs":10,"reps":20,"seed":2017,"priority":5}'
-//	curl -s localhost:8080/studies/s-000001            # live progress while running
-//	curl -s -X DELETE localhost:8080/studies/s-000001  # cancel
+//	curl -s localhost:8080/studies/s-000001             # live progress while running
+//	curl -s 'localhost:8080/studies/s-000001?wait=30s'  # long-poll for the next change
+//	curl -s -X DELETE localhost:8080/studies/s-000001   # cancel
 //	curl -s localhost:8080/studies/s-000001/report
 //	curl -s localhost:8080/healthz
 package main
@@ -33,29 +42,38 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"barrierpoint/internal/sched"
 	"barrierpoint/internal/service"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "per-study unit concurrency (0 = GOMAXPROCS)")
-		executors = flag.Int("executors", 2, "studies running concurrently")
-		queue     = flag.Int("queue", 64, "submission queue depth")
-		cacheSize = flag.Int("cache", 256, "result cache entries")
-		cacheMem  = flag.Int64("cache-mem-bytes", 0, "in-memory result cache byte bound (0 = entries only)")
-		cacheDir  = flag.String("cache-dir", "", "persistent cache directory (empty = memory only)")
-		cacheMax  = flag.Int64("cache-max-bytes", 0, "persistent cache size bound in bytes (0 = unbounded)")
-		priority  = flag.Int("priority", 0,
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.String("workers", "", "comma-separated bpworker addresses (host:port,...) for distributed execution (empty = local)")
+		winflight   = flag.Int("worker-inflight", 0, "concurrent units dispatched per remote worker (0 = default 4)")
+		unitWorkers = flag.Int("unit-workers", 0, "per-study unit concurrency (0 = GOMAXPROCS)")
+		executors   = flag.Int("executors", 2, "studies running concurrently")
+		queue       = flag.Int("queue", 64, "submission queue depth")
+		cacheSize   = flag.Int("cache", 256, "result cache entries")
+		cacheMem    = flag.Int64("cache-mem-bytes", 0, "in-memory result cache byte bound (0 = entries only)")
+		cacheDir    = flag.String("cache-dir", "", "persistent cache directory (empty = memory only)")
+		cacheMax    = flag.Int64("cache-max-bytes", 0, "persistent cache size bound in bytes (0 = unbounded)")
+		priority    = flag.Int("priority", 0,
 			fmt.Sprintf("default priority band for submissions that omit one (higher starts first, ±%d)", service.MaxPriority))
 	)
 	flag.Parse()
 
+	workerURLs, err := sched.ParseWorkerList(*workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bpserved: -workers takes bpworker addresses (host:port,...); unit concurrency is -unit-workers: %v\n", err)
+		os.Exit(2)
+	}
 	svc, err := service.New(service.Config{
-		Workers:         *workers,
+		Workers:         *unitWorkers,
 		Executors:       *executors,
 		QueueDepth:      *queue,
 		CacheSize:       *cacheSize,
@@ -63,6 +81,8 @@ func main() {
 		CacheDir:        *cacheDir,
 		CacheMaxBytes:   *cacheMax,
 		DefaultPriority: *priority,
+		WorkerURLs:      workerURLs,
+		WorkerInflight:  *winflight,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bpserved:", err)
@@ -78,6 +98,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "bpserved: listening on %s\n", ln.Addr())
 	if *cacheDir != "" {
 		fmt.Fprintf(os.Stderr, "bpserved: persistent cache at %s\n", *cacheDir)
+	}
+	if len(workerURLs) > 0 {
+		fmt.Fprintf(os.Stderr, "bpserved: distributing units across %d workers: %s\n",
+			len(workerURLs), strings.Join(workerURLs, ", "))
 	}
 
 	srv := &http.Server{Handler: svc.Handler()}

@@ -81,6 +81,32 @@ func RegisterGob[T any](name string) {
 	})
 }
 
+// Encode serialises a value with the codec registered for its concrete
+// type, returning the codec's format name alongside the payload. The name
+// travels with the bytes (entry headers on disk, unit responses on the
+// wire) so Decode can reverse the serialisation in another process.
+func Encode(v any) (name string, data []byte, err error) {
+	c, ok := codecFor(v)
+	if !ok {
+		return "", nil, fmt.Errorf("%w: %T", ErrNoCodec, v)
+	}
+	data, err = c.Encode(v)
+	if err != nil {
+		return "", nil, err
+	}
+	return c.Name, data, nil
+}
+
+// Decode reverses Encode: it deserialises the payload with the codec
+// registered under the format name.
+func Decode(name string, data []byte) (any, error) {
+	c, ok := codecNamed(name)
+	if !ok {
+		return nil, fmt.Errorf("cachestore: no codec registered under %q", name)
+	}
+	return c.Decode(data)
+}
+
 // codecFor returns the codec for a value's concrete type.
 func codecFor(v any) (*Codec, bool) {
 	regMu.RLock()

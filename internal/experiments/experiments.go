@@ -37,6 +37,13 @@ type Config struct {
 	// (0 = GOMAXPROCS). The same seed regenerates identical tables for
 	// any worker count.
 	Workers int
+	// WorkerURLs lists remote unit workers (bpworker processes) to shard
+	// study units across; empty runs everything in-process. The same
+	// seed regenerates identical tables either way.
+	WorkerURLs []string
+	// WorkerInflight bounds concurrent units dispatched per remote
+	// worker (default 4). Only meaningful with WorkerURLs.
+	WorkerInflight int
 }
 
 // Default returns the paper's full configuration.
@@ -72,6 +79,9 @@ func (c Config) withDefaults() Config {
 type Runner struct {
 	cfg   Config
 	cache *resultcache.Cache
+	// exec is non-nil when the runner dispatches units to a remote
+	// worker fleet (Config.WorkerURLs).
+	exec sched.Executor
 
 	// keyMu/keys memoise sched.StudyKey per (app, threads, vectorised):
 	// computing it builds both program variants for fingerprinting, which
@@ -87,7 +97,28 @@ const runnerCacheEntries = 4096
 
 // NewRunner returns a Runner for the configuration.
 func NewRunner(cfg Config) *Runner {
-	return &Runner{cfg: cfg.withDefaults(), cache: resultcache.New(runnerCacheEntries)}
+	r := &Runner{cfg: cfg.withDefaults(), cache: resultcache.New(runnerCacheEntries)}
+	r.initExecutor()
+	return r
+}
+
+// initExecutor builds the remote unit executor when the configuration
+// names a worker fleet; the runner's shared cache doubles as the
+// dispatch-side memo and the local fallback's substrate.
+func (r *Runner) initExecutor() {
+	if len(r.cfg.WorkerURLs) == 0 {
+		return
+	}
+	r.exec = sched.NewRemoteExecutor(r.cfg.WorkerURLs, sched.RemoteOptions{
+		PerWorkerInflight: r.cfg.WorkerInflight,
+		Cache:             r.cache,
+	})
+}
+
+// schedOptions returns the scheduler options every runner entry point
+// shares: the worker budget, the shared cache, and the unit executor.
+func (r *Runner) schedOptions() sched.Options {
+	return sched.Options{Workers: r.cfg.Workers, Cache: r.cache, Executor: r.exec}
 }
 
 // NewPersistentRunner returns a Runner whose shared cache is backed by a
@@ -101,10 +132,12 @@ func NewPersistentRunner(cfg Config, dir string, maxBytes int64) (*Runner, error
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{cfg: cfg.withDefaults(), cache: resultcache.NewWith(resultcache.Config{
+	r := &Runner{cfg: cfg.withDefaults(), cache: resultcache.NewWith(resultcache.Config{
 		MaxEntries: runnerCacheEntries,
 		Store:      store,
-	})}, nil
+	})}
+	r.initExecutor()
+	return r, nil
 }
 
 // Close flushes pending cache write-behinds and closes the backing store;
@@ -151,8 +184,7 @@ func (r *Runner) Study(app string, threads int, vectorised bool) (*core.StudyRes
 		return nil, fmt.Errorf("experiments: study %s/%dt/vect=%v: %w", app, threads, vectorised, err)
 	}
 	v, _, err := r.cache.Do(key, func() (any, error) {
-		return sched.Run(context.Background(), req,
-			sched.Options{Workers: r.cfg.Workers, Cache: r.cache})
+		return sched.Run(context.Background(), req, r.schedOptions())
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: study %s/%dt/vect=%v: %w", app, threads, vectorised, err)
@@ -168,7 +200,7 @@ func (r *Runner) Study(app string, threads int, vectorised bool) (*core.StudyRes
 func (r *Runner) Discover(app string, build core.ProgramBuilder, cfg core.DiscoveryConfig) ([]core.BarrierPointSet, error) {
 	return sched.Discover(context.Background(), sched.DiscoverRequest{
 		App: app, Build: build, Config: cfg,
-	}, sched.Options{Workers: r.cfg.Workers, Cache: r.cache})
+	}, r.schedOptions())
 }
 
 // Collect runs Step 3 for one builder on the scheduler, memoising the
@@ -176,7 +208,7 @@ func (r *Runner) Discover(app string, build core.ProgramBuilder, cfg core.Discov
 func (r *Runner) Collect(app string, build core.ProgramBuilder, cfg core.CollectConfig) (*core.Collection, error) {
 	return sched.Collect(context.Background(), sched.CollectRequest{
 		App: app, Build: build, Config: cfg,
-	}, sched.Options{Workers: r.cfg.Workers, Cache: r.cache})
+	}, r.schedOptions())
 }
 
 // studyKey returns (computing once per configuration) the whole-study

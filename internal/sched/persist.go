@@ -17,6 +17,9 @@ func init() {
 	cachestore.RegisterGob[core.BarrierPointSet]("core.BarrierPointSet")
 	cachestore.RegisterGob[*core.Collection]("core.Collection")
 	cachestore.RegisterGob[*core.StudyResult]("core.StudyResult")
+	// SetEvaluation artifacts travel the distributed unit protocol
+	// (validate units) even though the local path never caches them.
+	cachestore.RegisterGob[core.SetEvaluation]("core.SetEvaluation")
 }
 
 // baselineArtifactGob is the wire shape of a baselineArtifact (whose

@@ -26,6 +26,11 @@ type Options struct {
 	// Cache memoises discovery baselines, barrier point sets, collections
 	// and whole studies across Run calls. Nil disables caching.
 	Cache *resultcache.Cache
+	// Executor resolves the study's unit requests. Nil means a
+	// LocalExecutor over Cache — the in-process pool the scheduler has
+	// always used. A RemoteExecutor shards units across worker
+	// processes instead.
+	Executor Executor
 	// Progress, when non-nil, is called after each completed unit of work
 	// (a discovery run, a collection, a set validation) with the number of
 	// units finished so far and the total for the execution. Calls may
@@ -78,6 +83,14 @@ func (p *progress) finish() {
 	done, total := p.done, p.total
 	p.mu.Unlock()
 	p.fn(done, total)
+}
+
+// executor resolves the effective unit executor.
+func (o Options) executor() Executor {
+	if o.Executor != nil {
+		return o.Executor
+	}
+	return &LocalExecutor{Cache: o.Cache}
 }
 
 // workers resolves the effective worker count.

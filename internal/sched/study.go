@@ -62,6 +62,27 @@ func discKey(kind, fp string, cfg core.DiscoveryConfig, run int) resultcache.Key
 	return resultcache.NewKey(kind, fp, fmt.Sprintf("%#v run=%d", cfg, run))
 }
 
+// collectKey addresses one native counter collection. The key spells the
+// fields out rather than hashing the whole struct because CollectConfig
+// carries pointer overrides (Overhead, Machine) that need to be keyed by
+// value. The variant's ISA must be non-nil.
+func collectKey(fp string, cfg core.CollectConfig) resultcache.Key {
+	keyCfg := cfg.WithDefaults()
+	// 0 and 1 multiplex groups both mean "multiplexing disabled" in papi,
+	// so they share a key.
+	mux := keyCfg.MultiplexGroups
+	if mux <= 1 {
+		mux = 0
+	}
+	overhead := ""
+	if cfg.Overhead != nil {
+		overhead = fmt.Sprintf("%+v", *cfg.Overhead)
+	}
+	return resultcache.NewKey("collection", fp, cfg.Variant.String(),
+		fmt.Sprintf("t=%d r=%d s=%d mux=%d", keyCfg.Threads, keyCfg.Reps, keyCfg.Seed, mux),
+		machineKeyPart(cfg.Machine), overhead)
+}
+
 // StudyKey returns the content-addressed key under which Run caches the
 // whole study's result: the program content for both collection variants
 // (workloads like HPGMG-FV build different programs per ISA) plus the
@@ -76,8 +97,8 @@ func StudyKey(req StudyRequest) (resultcache.Key, error) {
 
 // studyKeyFingerprints computes the whole-study key and the two per-variant
 // program fingerprints it is built from; Run reuses the fingerprints for
-// the discovery and collection units (the discovery variant equals the
-// x86_64 collection variant), so each program is built once for keying.
+// the study's unit requests (the discovery variant equals the x86_64
+// collection variant), so each program is built once for keying.
 func studyKeyFingerprints(req StudyRequest) (key resultcache.Key, fpX86, fpARM string, err error) {
 	cfg := req.Config.WithDefaults()
 	colCfgs := cfg.Collections()
@@ -100,13 +121,15 @@ func StudyUnits(cfg core.StudyConfig) int {
 	return 2*cfg.Runs + 2
 }
 
-// Run executes the full Section V workflow for one workload on the worker
-// pool. It runs the same per-unit primitives as core.RunStudy — the
-// canonical discovery run, the jittered re-runs, both native collections,
-// and the per-set validations — but fans the independent units out across
-// opts.Workers goroutines and memoises intermediates in opts.Cache.
-// Results are assembled in unit order, so the same request yields a
-// byte-identical *core.StudyResult for any worker count.
+// Run executes the full Section V workflow for one workload. It runs the
+// same per-unit primitives as core.RunStudy — the canonical discovery
+// run, the jittered re-runs, both native collections, and the per-set
+// validations — but decomposes them into typed UnitRequests resolved by
+// opts' Executor (in-process by default, a remote worker fleet with
+// RemoteExecutor), fanning independent units across opts.Workers
+// goroutines and memoising whole studies in opts.Cache. Results are
+// assembled in unit order, so the same request yields a byte-identical
+// *core.StudyResult for any worker count and any executor backend.
 func Run(ctx context.Context, req StudyRequest, opts Options) (*core.StudyResult, error) {
 	if req.Build == nil {
 		return nil, fmt.Errorf("sched: study %s has no program builder", req.App)
@@ -121,25 +144,32 @@ func Run(ctx context.Context, req StudyRequest, opts Options) (*core.StudyResult
 	// One unit per discovery run, one per collection, one per validation.
 	prog := newProgress(opts.Progress, StudyUnits(cfg))
 
+	// Fingerprints cost a program build per variant; they only matter
+	// when something addresses units by content — the cache, or an
+	// executor that may ship them to another process.
 	var studyKey resultcache.Key
 	var fpX86, fpARM string
-	if cache != nil {
+	if cache != nil || opts.Executor != nil {
 		var err error
 		studyKey, fpX86, fpARM, err = studyKeyFingerprints(req)
 		if err != nil {
 			return nil, err
 		}
+	}
+	if cache != nil {
 		if v, ok := cache.Get(studyKey); ok {
 			prog.finish()
 			return v.(*core.StudyResult), nil
 		}
 	}
+	exec := opts.executor()
 
 	// The study runs as flat stages so at most `workers` units are ever
 	// in flight (nesting fan-outs would transiently exceed the bound).
 	// Stage 1: the canonical baseline discovery run and the two native
 	// collections are mutually independent. Stage 2: the jittered
-	// discovery runs, which need only the baseline's LDVs.
+	// discovery runs, which need only the baseline's LDVs. Stage 3: the
+	// per-set validations.
 	sets := make([]core.BarrierPointSet, cfg.Runs)
 	cols := make([]*core.Collection, len(colCfgs))
 	workers := opts.workers()
@@ -147,16 +177,23 @@ func Run(ctx context.Context, req StudyRequest, opts Options) (*core.StudyResult
 	var base *core.LDVBaseline
 	top := []func(ctx context.Context) error{
 		func(ctx context.Context) error {
-			art, err := discoverBaseline(req.App, req.Build, discCfg, fpX86, cache)
+			ur := UnitRequest{
+				Kind: UnitDiscoverBaseline, App: req.App, FP: fpX86,
+				Discovery: &discCfg, Build: req.Build,
+			}
+			art, err := executeBaseline(ctx, exec, ur)
 			if err != nil {
-				return err
+				return fmt.Errorf("sched: study %s: %w", req.App, err)
 			}
 			sets[0], base = art.set, art.base
 			prog.unit()
 			return nil
 		},
 		func(ctx context.Context) error {
-			col, err := runCollect(req.App, req.Build, colCfgs[0], fpX86, cache)
+			col, err := executeCollect(ctx, exec, UnitRequest{
+				Kind: UnitCollect, App: req.App, FP: fpX86,
+				Collect: &colCfgs[0], Build: req.Build,
+			})
 			if err != nil {
 				return fmt.Errorf("sched: study %s x86_64 collection: %w", req.App, err)
 			}
@@ -165,7 +202,10 @@ func Run(ctx context.Context, req StudyRequest, opts Options) (*core.StudyResult
 			return nil
 		},
 		func(ctx context.Context) error {
-			col, err := runCollect(req.App, req.Build, colCfgs[1], fpARM, cache)
+			col, err := executeCollect(ctx, exec, UnitRequest{
+				Kind: UnitCollect, App: req.App, FP: fpARM,
+				Collect: &colCfgs[1], Build: req.Build,
+			})
 			if err != nil {
 				return fmt.Errorf("sched: study %s ARMv8 collection: %w", req.App, err)
 			}
@@ -179,7 +219,7 @@ func Run(ctx context.Context, req StudyRequest, opts Options) (*core.StudyResult
 	}); err != nil {
 		return nil, err
 	}
-	if err := discoverJittered(ctx, req.App, req.Build, discCfg, fpX86, cache, workers, sets, base, prog); err != nil {
+	if err := executeJittered(ctx, exec, req.App, req.Build, discCfg, fpX86, workers, sets, base, prog); err != nil {
 		return nil, err
 	}
 
@@ -187,9 +227,17 @@ func Run(ctx context.Context, req StudyRequest, opts Options) (*core.StudyResult
 	// two collections.
 	evals := make([]core.SetEvaluation, len(sets))
 	err := ForEach(ctx, len(sets), workers, func(ctx context.Context, i int) error {
-		eval, err := core.EvaluateSet(req.App, i, &sets[i], cols[0], cols[1])
+		v, err := exec.ExecuteUnit(ctx, UnitRequest{
+			Kind: UnitValidate, App: req.App, FP: fpX86, FPARM: fpARM,
+			Discovery: &discCfg, Run: i, Collections: &colCfgs,
+			Build: req.Build, Set: &sets[i], Cols: [2]*core.Collection{cols[0], cols[1]},
+		})
 		if err != nil {
 			return err
+		}
+		eval, ok := v.(core.SetEvaluation)
+		if !ok {
+			return fmt.Errorf("sched: validate unit returned %T, want core.SetEvaluation", v)
 		}
 		evals[i] = eval
 		prog.unit()
@@ -206,10 +254,10 @@ func Run(ctx context.Context, req StudyRequest, opts Options) (*core.StudyResult
 	return res, nil
 }
 
-// Discover runs (or recalls) Step 2 on the worker pool: the canonical
-// baseline run, then the jittered runs fanned out with bounded
-// concurrency. Results are in discovery-run order and byte-identical to
-// core.Discover's for any worker count.
+// Discover runs (or recalls) Step 2: the canonical baseline run, then the
+// jittered runs fanned out with bounded concurrency. Results are in
+// discovery-run order and byte-identical to core.Discover's for any
+// worker count or executor backend.
 func Discover(ctx context.Context, req DiscoverRequest, opts Options) ([]core.BarrierPointSet, error) {
 	if req.Build == nil {
 		return nil, fmt.Errorf("sched: discovery for %s has no program builder", req.App)
@@ -218,9 +266,28 @@ func Discover(ctx context.Context, req DiscoverRequest, opts Options) ([]core.Ba
 		return nil, err
 	}
 	cfg := req.Config.WithDefaults()
+	var fp string
+	if opts.Cache != nil || opts.Executor != nil {
+		var err error
+		fp, err = fingerprint(req.App, req.Build, cfg.Threads,
+			isa.Variant{ISA: isa.X8664(), Vectorised: cfg.Vectorised})
+		if err != nil {
+			return nil, err
+		}
+	}
+	exec := opts.executor()
 	sets := make([]core.BarrierPointSet, cfg.Runs)
 	prog := newProgress(opts.Progress, cfg.Runs)
-	if err := runDiscovery(ctx, req.App, req.Build, cfg, "", opts.Cache, opts.workers(), sets, prog); err != nil {
+	art, err := executeBaseline(ctx, exec, UnitRequest{
+		Kind: UnitDiscoverBaseline, App: req.App, FP: fp,
+		Discovery: &cfg, Build: req.Build,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sched: study %s: %w", req.App, err)
+	}
+	sets[0] = art.set
+	prog.unit()
+	if err := executeJittered(ctx, exec, req.App, req.Build, cfg, fp, opts.workers(), sets, art.base, prog); err != nil {
 		return nil, err
 	}
 	return sets, nil
@@ -234,8 +301,24 @@ func Collect(ctx context.Context, req CollectRequest, opts Options) (*core.Colle
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if req.Config.Variant.ISA == nil {
+		// Matches core.Collect's validation; checked here first because
+		// the cache key renders the variant.
+		return nil, fmt.Errorf("core: collection needs a binary variant")
+	}
+	var fp string
+	if opts.Cache != nil || opts.Executor != nil {
+		var err error
+		fp, err = fingerprint(req.App, req.Build, req.Config.Threads, req.Config.Variant)
+		if err != nil {
+			return nil, err
+		}
+	}
 	prog := newProgress(opts.Progress, 1)
-	col, err := runCollect(req.App, req.Build, req.Config, "", opts.Cache)
+	col, err := executeCollect(ctx, opts.executor(), UnitRequest{
+		Kind: UnitCollect, App: req.App, FP: fp,
+		Collect: &req.Config, Build: req.Build,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -243,63 +326,53 @@ func Collect(ctx context.Context, req CollectRequest, opts Options) (*core.Colle
 	return col, nil
 }
 
-// runDiscovery executes the discovery stage: the canonical baseline run
-// first (it produces the LDV baseline every jittered run reuses), then
-// the cfg.Runs-1 jittered runs fanned out over the pool. Sets land in
-// sets[run], preserving discovery-run order. An empty fp means the
-// caller has not fingerprinted the program yet.
-func runDiscovery(ctx context.Context, app string, build core.ProgramBuilder, cfg core.DiscoveryConfig, fp string, cache *resultcache.Cache, workers int, sets []core.BarrierPointSet, prog *progress) error {
-	if cache != nil && fp == "" {
-		var err error
-		fp, err = fingerprint(app, build, cfg.Threads,
-			isa.Variant{ISA: isa.X8664(), Vectorised: cfg.Vectorised})
-		if err != nil {
-			return err
-		}
-	}
-	art, err := discoverBaseline(app, build, cfg, fp, cache)
-	if err != nil {
-		return err
-	}
-	sets[0] = art.set
-	prog.unit()
-	return discoverJittered(ctx, app, build, cfg, fp, cache, workers, sets, art.base, prog)
-}
-
-// discoverBaseline runs (or recalls) the canonical discovery run.
-func discoverBaseline(app string, build core.ProgramBuilder, cfg core.DiscoveryConfig, fp string, cache *resultcache.Cache) (baselineArtifact, error) {
-	// Keys use the normalised configuration so a zero field and its
-	// explicit default address the same computation.
-	keyCfg := cfg.WithDefaults()
-	v, _, err := cache.Do(discKey("discover", fp, keyCfg, 0), func() (any, error) {
-		set, base, err := core.DiscoverBaseline(build, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return baselineArtifact{set: set, base: base}, nil
-	})
-	if err != nil {
-		return baselineArtifact{}, fmt.Errorf("sched: study %s: %w", app, err)
-	}
-	return v.(baselineArtifact), nil
-}
-
-// discoverJittered fans the runs ≥ 1 out over the pool, reusing the
-// canonical run's LDV baseline. Sets land in sets[run].
-func discoverJittered(ctx context.Context, app string, build core.ProgramBuilder, cfg core.DiscoveryConfig, fp string, cache *resultcache.Cache, workers int, sets []core.BarrierPointSet, base *core.LDVBaseline, prog *progress) error {
-	keyCfg := cfg.WithDefaults()
+// executeJittered fans the runs ≥ 1 out over the pool, passing the
+// canonical run's LDV baseline in-band. Sets land in sets[run],
+// preserving discovery-run order.
+func executeJittered(ctx context.Context, exec Executor, app string, build core.ProgramBuilder, cfg core.DiscoveryConfig, fp string, workers int, sets []core.BarrierPointSet, base *core.LDVBaseline, prog *progress) error {
 	return ForEach(ctx, len(sets)-1, workers, func(ctx context.Context, i int) error {
 		run := i + 1
-		v, _, err := cache.Do(discKey("discover", fp, keyCfg, run), func() (any, error) {
-			return core.DiscoverJittered(build, cfg, run, base)
+		v, err := exec.ExecuteUnit(ctx, UnitRequest{
+			Kind: UnitDiscoverJittered, App: app, FP: fp,
+			Discovery: &cfg, Run: run, Build: build, Base: base,
 		})
 		if err != nil {
 			return fmt.Errorf("sched: study %s: %w", app, err)
 		}
-		sets[run] = v.(core.BarrierPointSet)
+		set, ok := v.(core.BarrierPointSet)
+		if !ok {
+			return fmt.Errorf("sched: discovery unit returned %T, want core.BarrierPointSet", v)
+		}
+		sets[run] = set
 		prog.unit()
 		return nil
 	})
+}
+
+// executeBaseline resolves a discover-baseline unit to its artifact.
+func executeBaseline(ctx context.Context, exec Executor, req UnitRequest) (baselineArtifact, error) {
+	v, err := exec.ExecuteUnit(ctx, req)
+	if err != nil {
+		return baselineArtifact{}, err
+	}
+	art, ok := v.(baselineArtifact)
+	if !ok {
+		return baselineArtifact{}, fmt.Errorf("sched: baseline unit returned %T", v)
+	}
+	return art, nil
+}
+
+// executeCollect resolves a collect unit to its artifact.
+func executeCollect(ctx context.Context, exec Executor, req UnitRequest) (*core.Collection, error) {
+	v, err := exec.ExecuteUnit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	col, ok := v.(*core.Collection)
+	if !ok {
+		return nil, fmt.Errorf("sched: collect unit returned %T, want *core.Collection", v)
+	}
+	return col, nil
 }
 
 // machineKeyPart renders a Machine override by value for cache keying.
@@ -313,44 +386,4 @@ func machineKeyPart(m *machine.Machine) string {
 	mm := *m
 	mm.ISA, mm.CPU = nil, nil
 	return fmt.Sprintf("%+v isa=%+v cpu=%+v", mm, *m.ISA, *m.CPU)
-}
-
-// runCollect runs (or recalls) one native counter collection. The cache
-// key spells the fields out rather than hashing the whole struct because
-// CollectConfig carries pointer overrides (Overhead, Machine) that need
-// to be keyed by value.
-func runCollect(app string, build core.ProgramBuilder, cfg core.CollectConfig, fp string, cache *resultcache.Cache) (*core.Collection, error) {
-	if cfg.Variant.ISA == nil {
-		// Matches core.Collect's validation; checked here first because
-		// the cache key renders the variant.
-		return nil, fmt.Errorf("core: collection needs a binary variant")
-	}
-	if cache != nil && fp == "" {
-		var err error
-		fp, err = fingerprint(app, build, cfg.Threads, cfg.Variant)
-		if err != nil {
-			return nil, err
-		}
-	}
-	keyCfg := cfg.WithDefaults()
-	// 0 and 1 multiplex groups both mean "multiplexing disabled" in papi,
-	// so they share a key.
-	mux := keyCfg.MultiplexGroups
-	if mux <= 1 {
-		mux = 0
-	}
-	overhead := ""
-	if cfg.Overhead != nil {
-		overhead = fmt.Sprintf("%+v", *cfg.Overhead)
-	}
-	key := resultcache.NewKey("collection", fp, cfg.Variant.String(),
-		fmt.Sprintf("t=%d r=%d s=%d mux=%d", keyCfg.Threads, keyCfg.Reps, keyCfg.Seed, mux),
-		machineKeyPart(cfg.Machine), overhead)
-	v, _, err := cache.Do(key, func() (any, error) {
-		return core.Collect(build, cfg)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return v.(*core.Collection), nil
 }

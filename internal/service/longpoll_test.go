@@ -1,0 +1,139 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// getStatusWait long-polls one job.
+func getStatusWait(t *testing.T, ts *httptest.Server, id, query string) (JobStatus, int) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/studies/" + id + "?" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+// TestLongPollReturnsOnChange: a wait= request blocks until the job's
+// state or progress changes rather than busy-polling, and each returned
+// version strictly exceeds the since the client passed.
+func TestLongPollReturnsOnChange(t *testing.T) {
+	_, ts := newTestServer(t)
+	st := postStudy(t, ts, `{"app":"MCB","threads":2,"runs":3,"reps":3,"seed":41}`)
+
+	since := st.Version
+	deadline := time.Now().Add(2 * time.Minute)
+	changes := 0
+	for time.Now().Before(deadline) {
+		next, code := getStatusWait(t, ts, st.ID, fmt.Sprintf("wait=30s&since=%d", since))
+		if code != http.StatusOK {
+			t.Fatalf("long-poll status %d", code)
+		}
+		if next.State.terminal() {
+			if next.State != StateDone {
+				t.Fatalf("study ended %s (error: %s)", next.State, next.Error)
+			}
+			if changes == 0 {
+				t.Error("no intermediate change was observed before completion")
+			}
+			return
+		}
+		if next.Version <= since {
+			t.Fatalf("long-poll returned version %d, not past since=%d (state %s)",
+				next.Version, since, next.State)
+		}
+		since = next.Version
+		changes++
+	}
+	t.Fatal("study did not finish in time")
+}
+
+// TestLongPollTerminalShortCircuits: a wait on a finished job returns
+// immediately — there is nothing left to wait for.
+func TestLongPollTerminalShortCircuits(t *testing.T) {
+	_, ts := newTestServer(t)
+	st := postStudy(t, ts, `{"app":"MCB","threads":2,"runs":2,"reps":2,"seed":41}`)
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) && !getStatus(t, ts, st.ID).State.terminal() {
+		time.Sleep(10 * time.Millisecond)
+	}
+	final := getStatus(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("study ended %s (error: %s)", final.State, final.Error)
+	}
+
+	start := time.Now()
+	got, code := getStatusWait(t, ts, st.ID, fmt.Sprintf("wait=30s&since=%d", final.Version))
+	if code != http.StatusOK || got.State != StateDone {
+		t.Fatalf("terminal long-poll: status %d state %s", code, got.State)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Errorf("terminal long-poll blocked %v; must return immediately", took)
+	}
+}
+
+// TestLongPollValidation: malformed wait/since parameters are 400s, not
+// silent full-duration hangs.
+func TestLongPollValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	st := postStudy(t, ts, `{"app":"MCB","threads":2,"runs":2,"reps":2,"seed":41}`)
+	for _, query := range []string{"wait=banana", "wait=-3s", "wait=5s&since=banana"} {
+		if _, code := getStatusWait(t, ts, st.ID, query); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", query, code)
+		}
+	}
+}
+
+// TestHealthzQueueBands: /healthz breaks the queue depth down per
+// priority band.
+func TestHealthzQueueBands(t *testing.T) {
+	s := mustNew(t, Config{Workers: 1, Executors: 1, QueueDepth: 8, CacheSize: 64})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+
+	// Occupy the single executor, then queue studies across bands.
+	running := postStudy(t, ts, longStudy)
+	waitState(t, ts, running.ID, StateRunning)
+	queued := []JobStatus{
+		postStudy(t, ts, `{"app":"MCB","threads":2,"priority":7}`),
+		postStudy(t, ts, `{"app":"MCB","threads":2,"priority":7,"seed":1}`),
+		postStudy(t, ts, `{"app":"MCB","threads":2,"priority":-2}`),
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.QueueDepth != 3 {
+		t.Errorf("queue_depth = %d, want 3", h.QueueDepth)
+	}
+	if h.QueueByPriority[7] != 2 || h.QueueByPriority[-2] != 1 {
+		t.Errorf("queue_by_priority = %v, want 7:2 and -2:1", h.QueueByPriority)
+	}
+
+	// Unblock the executor so Cleanup does not wait out the long study.
+	for _, q := range queued {
+		doDelete(t, ts, q.ID)
+	}
+	doDelete(t, ts, running.ID)
+}

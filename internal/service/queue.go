@@ -149,3 +149,18 @@ func (q *jobQueue) len() int {
 	defer q.mu.Unlock()
 	return len(q.items)
 }
+
+// bands returns the number of queued jobs per priority band (only bands
+// with queued jobs appear).
+func (q *jobQueue) bands() map[int]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return nil
+	}
+	m := make(map[int]int, 4)
+	for _, it := range q.items {
+		m[it.pri]++
+	}
+	return m
+}

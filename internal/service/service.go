@@ -11,6 +11,18 @@
 //	GET    /studies/{id}/report render a finished job → 200 text/plain
 //	GET    /healthz             liveness + counters   → 200 + health
 //
+// GET /studies/{id} long-polls with ?wait=<dur>: the response is held
+// back until the job's state or progress changes (or the wait elapses),
+// so clients track a study with one outstanding request instead of a
+// poll loop. Every status carries a version; pass it back as
+// &since=<version> to sleep through states you have already seen.
+//
+// With Config.WorkerURLs set the server runs distributed: study units are
+// dispatched over HTTP to a fleet of unit workers (cmd/bpworker) via
+// sched.RemoteExecutor, with retry/backoff on worker failure and local
+// fallback when no worker is healthy. /healthz then also reports
+// per-worker health and dispatch counters.
+//
 // Submissions carry an optional priority: higher-priority jobs start
 // first, equal priorities start in submission order. A running job
 // reports live progress (units completed / total) on every poll, and
@@ -34,6 +46,7 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -95,6 +108,10 @@ type JobStatus struct {
 	// Priority is the effective scheduling band (the request's, or the
 	// server default when the request left it zero).
 	Priority int `json:"priority"`
+	// Version increments on every visible change (state transitions,
+	// progress updates). Long-pollers pass it back as ?since= so a wait
+	// only returns on changes they have not seen.
+	Version int64 `json:"version"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -110,10 +127,18 @@ type JobStatus struct {
 
 // Health is the GET /healthz body.
 type Health struct {
-	Status  string            `json:"status"`
-	Workers int               `json:"workers"`
-	Jobs    map[State]int     `json:"jobs"`
-	Cache   resultcache.Stats `json:"cache"`
+	Status  string        `json:"status"`
+	Workers int           `json:"workers"`
+	Jobs    map[State]int `json:"jobs"`
+	// QueueDepth is the number of submitted-but-unstarted jobs;
+	// QueueByPriority breaks it down per scheduling band (bands with
+	// queued jobs only — JSON object keys are the band numbers).
+	QueueDepth      int               `json:"queue_depth"`
+	QueueByPriority map[int]int       `json:"queue_by_priority,omitempty"`
+	Cache           resultcache.Stats `json:"cache"`
+	// Distributed reports per-worker health and dispatch counters when
+	// the server runs with a remote worker fleet; nil in local mode.
+	Distributed *sched.RemoteStats `json:"distributed,omitempty"`
 }
 
 // job is the server-side record behind a JobStatus.
@@ -121,6 +146,9 @@ type job struct {
 	mu     sync.Mutex
 	status JobStatus
 	result *core.StudyResult
+	// changed, when non-nil, is closed at the next visible change; it is
+	// allocated lazily by the first long-poller waiting on this job.
+	changed chan struct{}
 	// cancel aborts the running study's context; non-nil only while the
 	// job runs.
 	cancel context.CancelFunc
@@ -128,6 +156,25 @@ type job struct {
 	// cancelled study apart from one that failed on its own, and skip a
 	// job whose cancellation raced with its dequeue.
 	cancelRequested bool
+}
+
+// bumpLocked records a visible change: the version increments and any
+// long-pollers waiting on the previous state wake. Callers hold j.mu.
+func (j *job) bumpLocked() {
+	j.status.Version++
+	if j.changed != nil {
+		close(j.changed)
+		j.changed = nil
+	}
+}
+
+// waitChanLocked returns the channel closed at the next visible change.
+// Callers hold j.mu.
+func (j *job) waitChanLocked() <-chan struct{} {
+	if j.changed == nil {
+		j.changed = make(chan struct{})
+	}
+	return j.changed
 }
 
 // snapshot returns a copy of the status safe to use outside j.mu. The
@@ -164,6 +211,7 @@ func (j *job) setProgress(done, total int) {
 	if p := j.status.Progress; p != nil && done > p.UnitsDone {
 		p.UnitsDone = done
 		p.UnitsTotal = total
+		j.bumpLocked()
 	}
 	j.mu.Unlock()
 }
@@ -183,6 +231,7 @@ func (j *job) finish(at time.Time, st State, err error) {
 	if err != nil {
 		j.status.Error = err.Error()
 	}
+	j.bumpLocked()
 	j.mu.Unlock()
 }
 
@@ -217,6 +266,14 @@ type Config struct {
 	// DefaultPriority is the scheduling band given to submissions that
 	// leave the priority field zero.
 	DefaultPriority int
+	// WorkerURLs lists remote unit workers ("host:port" or full URLs).
+	// Non-empty enables distributed execution: study units are dispatched
+	// to the fleet via sched.RemoteExecutor, falling back to local
+	// execution when no worker is healthy.
+	WorkerURLs []string
+	// WorkerInflight bounds concurrent units dispatched per remote
+	// worker (default 4). Only meaningful with WorkerURLs.
+	WorkerInflight int
 	// Now overrides the clock, for tests. Defaults to time.Now.
 	Now func() time.Time
 	// Logf sinks server diagnostics (e.g. response-encoding failures).
@@ -243,6 +300,7 @@ const (
 type Server struct {
 	opts       sched.Options
 	cache      *resultcache.Cache
+	remote     *sched.RemoteExecutor // nil in local mode
 	now        func() time.Time
 	logf       func(format string, args ...any)
 	defaultPri int
@@ -309,6 +367,16 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.maxJobs = cfg.MaxJobs
 	s.opts.Cache = s.cache
+	if len(cfg.WorkerURLs) > 0 {
+		// Distributed mode: units go to the fleet, with the server's own
+		// cache as the dispatch-side memo and the fallback's substrate.
+		s.remote = sched.NewRemoteExecutor(cfg.WorkerURLs, sched.RemoteOptions{
+			PerWorkerInflight: cfg.WorkerInflight,
+			Cache:             s.cache,
+			Logf:              cfg.Logf,
+		})
+		s.opts.Executor = s.remote
+	}
 	for i := 0; i < cfg.Executors; i++ {
 		s.wg.Add(1)
 		go s.execute()
@@ -360,6 +428,7 @@ func (s *Server) runJob(j *job) {
 		j.status.State = StateCancelled
 		j.status.FinishedAt = &started
 		j.status.Error = context.Canceled.Error()
+		j.bumpLocked()
 		j.mu.Unlock()
 		return
 	}
@@ -376,6 +445,7 @@ func (s *Server) runJob(j *job) {
 		MaxK:       req.MaxK,
 	}
 	j.status.Progress = &Progress{UnitsTotal: sched.StudyUnits(cfg)}
+	j.bumpLocked()
 	j.mu.Unlock()
 
 	res, err := s.runStudy(ctx, j, req.App, cfg)
@@ -394,6 +464,7 @@ func (s *Server) runJob(j *job) {
 		j.status.FinishedAt = &finished
 		j.status.Summary = &summary
 		j.result = res
+		j.bumpLocked()
 		j.mu.Unlock()
 	case errors.Is(err, context.Canceled) && (wasCancelled || s.ctx.Err() != nil):
 		// Cancelled via DELETE, or the server shut down underneath the
@@ -594,13 +665,65 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.snapshotJobs())
 }
 
+// maxLongPoll caps how long one status request may be held open; longer
+// waits simply return the unchanged status and the client re-issues.
+const maxLongPoll = 2 * time.Minute
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown study %q", r.PathValue("id")))
 		return
 	}
-	s.writeJSON(w, http.StatusOK, j.snapshot())
+	q := r.URL.Query()
+	waitStr := q.Get("wait")
+	if waitStr == "" {
+		s.writeJSON(w, http.StatusOK, j.snapshot())
+		return
+	}
+	wait, err := time.ParseDuration(waitStr)
+	if err != nil || wait < 0 {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("service: wait must be a non-negative duration, got %q", waitStr))
+		return
+	}
+	wait = min(wait, maxLongPoll)
+	// since is the last version the client saw; absent, the wait watches
+	// for the next change from the status as of this request.
+	var since int64 = -1
+	if sinceStr := q.Get("since"); sinceStr != "" {
+		since, err = strconv.ParseInt(sinceStr, 10, 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Errorf("service: since must be a version number, got %q", sinceStr))
+			return
+		}
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		j.mu.Lock()
+		st := j.snapshotLocked()
+		ch := j.waitChanLocked()
+		j.mu.Unlock()
+		if since < 0 {
+			since = st.Version
+		}
+		// A terminal job can never change again: return rather than hold
+		// the request open for nothing.
+		if st.Version > since || st.State.terminal() {
+			s.writeJSON(w, http.StatusOK, st)
+			return
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			s.writeJSON(w, http.StatusOK, st)
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -651,12 +774,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	for _, st := range s.snapshotJobs() {
 		counts[st.State]++
 	}
-	s.writeJSON(w, http.StatusOK, Health{
-		Status:  "ok",
-		Workers: s.opts.Workers,
-		Jobs:    counts,
-		Cache:   s.cache.Stats(),
-	})
+	h := Health{
+		Status:          "ok",
+		Workers:         s.opts.Workers,
+		Jobs:            counts,
+		QueueDepth:      s.queue.len(),
+		QueueByPriority: s.queue.bands(),
+		Cache:           s.cache.Stats(),
+	}
+	if s.remote != nil {
+		stats := s.remote.Stats()
+		h.Distributed = &stats
+	}
+	s.writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {

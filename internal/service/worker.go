@@ -1,0 +1,215 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"barrierpoint/internal/apps"
+	"barrierpoint/internal/cachestore"
+	"barrierpoint/internal/resultcache"
+	"barrierpoint/internal/sched"
+)
+
+// WorkerConfig sizes a unit Worker.
+type WorkerConfig struct {
+	// MaxInflight bounds concurrently executing units; requests beyond
+	// it are rejected with 429 so the coordinator dispatches elsewhere
+	// (<= 0 means GOMAXPROCS).
+	MaxInflight int
+	// CacheSize bounds the worker's result cache in entries
+	// (default resultcache.DefaultMaxEntries).
+	CacheSize int
+	// CacheBytes optionally bounds the in-memory cache by approximate
+	// size in bytes (0 = entry bound only).
+	CacheBytes int64
+	// CacheDir, when non-empty, backs the cache with a persistent store.
+	// Pointing the fleet and its coordinator at one shared directory is
+	// what makes cross-study overlap dedupe fleet-wide: any process's
+	// artifacts serve every other's misses.
+	CacheDir string
+	// CacheMaxBytes bounds the persistent store on disk (0 = unbounded).
+	CacheMaxBytes int64
+	// Logf sinks worker diagnostics. Defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// WorkerHealth is the worker's GET /healthz body.
+type WorkerHealth struct {
+	Status      string `json:"status"`
+	Inflight    int    `json:"inflight"`
+	MaxInflight int    `json:"max_inflight"`
+	Units       uint64 `json:"units"`
+	UnitErrors  uint64 `json:"unit_errors"`
+	// Rejected counts units this worker can never execute (unknown app,
+	// fingerprint mismatch, undecodable request) — the version-skew
+	// signal. Busy counts routine 429 capacity pushback.
+	Rejected  uint64            `json:"rejected"`
+	Busy      uint64            `json:"busy"`
+	UptimeSec int64             `json:"uptime_sec"`
+	Cache     resultcache.Stats `json:"cache"`
+}
+
+// Worker executes study units shipped to it over HTTP (the fleet side of
+// sched.RemoteExecutor). It wraps a sched.LocalExecutor around its own
+// result cache: units are pure functions of their requests, so a worker
+// needs no job state — just compute, memoise, serialise. Create with
+// NewWorker, expose with Handler, stop with Close.
+type Worker struct {
+	exec     *sched.LocalExecutor
+	cache    *resultcache.Cache
+	sem      chan struct{}
+	logf     func(format string, args ...any)
+	start    time.Time
+	units    atomic.Uint64
+	unitErrs atomic.Uint64
+	rejected atomic.Uint64
+	busy     atomic.Uint64
+}
+
+// NewWorker starts a Worker with cfg's sizing. The only fallible part is
+// opening the persistent cache store when CacheDir is set.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	var store resultcache.Store
+	if cfg.CacheDir != "" {
+		st, err := cachestore.Open(cfg.CacheDir, cachestore.Options{MaxBytes: cfg.CacheMaxBytes})
+		if err != nil {
+			return nil, fmt.Errorf("service: opening worker cache store: %w", err)
+		}
+		store = st
+	}
+	cache := resultcache.NewWith(resultcache.Config{
+		MaxEntries: cfg.CacheSize,
+		MaxBytes:   cfg.CacheBytes,
+		Store:      store,
+	})
+	return &Worker{
+		exec:  &sched.LocalExecutor{Cache: cache},
+		cache: cache,
+		sem:   make(chan struct{}, cfg.MaxInflight),
+		logf:  cfg.Logf,
+		start: time.Now(),
+	}, nil
+}
+
+// Close flushes pending cache write-behinds and closes the backing store.
+func (w *Worker) Close() error { return w.cache.Close() }
+
+// CacheStats snapshots the worker's result cache counters.
+func (w *Worker) CacheStats() resultcache.Stats { return w.cache.Stats() }
+
+// Handler returns the worker's HTTP routes.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /units", w.handleUnit)
+	mux.HandleFunc("GET /healthz", w.handleHealth)
+	return mux
+}
+
+// handleUnit executes one unit request. Status codes are protocol:
+// 409 (sched.StatusUnitRejected) means "this worker can never run this
+// unit" — unknown app or kind, or a fingerprint mismatch proving the
+// coordinator's program differs from this binary's; 422
+// (sched.StatusUnitFailed) means the computation itself failed (a
+// property of the request — retrying elsewhere would fail identically);
+// 429 means at capacity. The coordinator maps them to fall-back, fail,
+// and try-next-worker respectively.
+func (w *Worker) handleUnit(rw http.ResponseWriter, r *http.Request) {
+	var req sched.UnitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		// A reject, not a plain 400: an undecodable request usually means
+		// a coordinator speaking a newer dialect (unknown fields), and a
+		// reject tells it to execute the unit itself instead of
+		// quarantining this healthy worker as a transport failure.
+		w.reject(rw, sched.StatusUnitRejected, fmt.Errorf("service: decoding unit request: %w", err))
+		return
+	}
+	if _, err := apps.ByName(req.App); err != nil {
+		w.reject(rw, sched.StatusUnitRejected, err)
+		return
+	}
+	select {
+	case w.sem <- struct{}{}:
+	default:
+		w.busy.Add(1)
+		w.writeJSON(rw, http.StatusTooManyRequests, unitErrorBody{Error: "service: worker at capacity"})
+		return
+	}
+	defer func() { <-w.sem }()
+
+	// The client disconnecting cancels r.Context(), which stops the unit
+	// at its next internal boundary; the artifact of a unit that
+	// completes anyway still lands in the cache for the retry.
+	v, err := w.exec.ExecuteUnit(r.Context(), req)
+	if err != nil {
+		switch {
+		case errors.Is(err, sched.ErrFingerprintMismatch), errors.Is(err, sched.ErrBadUnit):
+			// Requests this binary can never serve — wrong program, or a
+			// dialect it does not speak (e.g. a newer coordinator's unit
+			// kind). The coordinator can still execute them itself.
+			w.reject(rw, sched.StatusUnitRejected, err)
+		case r.Context().Err() != nil:
+			// The requester is gone; nothing useful can be written, and a
+			// routine cancellation is neither a rejection nor a failure —
+			// operators alert on those counters.
+		default:
+			w.unitErrs.Add(1)
+			w.writeJSON(rw, sched.StatusUnitFailed, unitErrorBody{Error: err.Error()})
+		}
+		return
+	}
+	codec, data, err := cachestore.Encode(v)
+	if err != nil {
+		w.unitErrs.Add(1)
+		w.writeJSON(rw, http.StatusInternalServerError,
+			unitErrorBody{Error: fmt.Sprintf("service: serialising %s artifact: %v", req.Kind, err)})
+		return
+	}
+	w.units.Add(1)
+	w.writeJSON(rw, http.StatusOK, sched.UnitResponse{Codec: codec, Data: data})
+}
+
+func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
+	w.writeJSON(rw, http.StatusOK, WorkerHealth{
+		Status:      "ok",
+		Inflight:    len(w.sem),
+		MaxInflight: cap(w.sem),
+		Units:       w.units.Load(),
+		UnitErrors:  w.unitErrs.Load(),
+		Rejected:    w.rejected.Load(),
+		Busy:        w.busy.Load(),
+		UptimeSec:   int64(time.Since(w.start).Seconds()),
+		Cache:       w.cache.Stats(),
+	})
+}
+
+// unitErrorBody mirrors sched's unit error envelope.
+type unitErrorBody struct {
+	Error string `json:"error"`
+}
+
+func (w *Worker) reject(rw http.ResponseWriter, code int, err error) {
+	w.rejected.Add(1)
+	w.writeJSON(rw, code, unitErrorBody{Error: err.Error()})
+}
+
+func (w *Worker) writeJSON(rw http.ResponseWriter, code int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	if err := json.NewEncoder(rw).Encode(v); err != nil {
+		w.logf("service: encoding %d unit response: %v", code, err)
+	}
+}
