@@ -8,13 +8,13 @@ BENCHTIME ?= 1s
 BENCH_OUT ?= BENCH_pipeline.json
 
 .PHONY: ci fmt-check vet build test-short test test-race test-persist \
-	test-dist bench bench-json bench-json-smoke
+	test-dist test-obs bench bench-json bench-json-smoke
 
 # ci is the tier-1 gate: formatting, static checks, build, fast tests,
 # the race detector over the concurrent subsystems, the persistence
-# suite, the distributed-execution suite, and a 1x smoke of the
-# bench-json harness so it cannot bit-rot.
-ci: fmt-check vet build test-short test-race test-persist test-dist bench-json-smoke
+# suite, the distributed-execution suite, the observability suite, and a
+# 1x smoke of the bench-json harness so it cannot bit-rot.
+ci: fmt-check vet build test-short test-race test-persist test-dist test-obs bench-json-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -40,7 +40,7 @@ test:
 # signature collectors (mem, pin), which are reused across regions and fan
 # out under the scheduler.
 test-race:
-	$(GO) test -race ./internal/sched/... ./internal/resultcache/... ./internal/service/... ./internal/cachestore/... ./internal/mem/... ./internal/pin/...
+	$(GO) test -race ./internal/obs/... ./internal/sched/... ./internal/resultcache/... ./internal/service/... ./internal/cachestore/... ./internal/mem/... ./internal/pin/...
 
 # test-persist exercises the persistent cache store and every layer's
 # warm-restart path (store scan/eviction/corruption recovery, scheduler,
@@ -57,6 +57,15 @@ test-persist:
 # layer's unit tests.
 test-dist:
 	$(GO) test -race -run 'Distributed|Worker|Executor|UnitRequest|LongPoll' \
+		./internal/sched/... ./internal/service/...
+
+# test-obs exercises the observability layer under the race detector: the
+# registry/exposition/tracer unit tests, plus the end-to-end smokes that
+# run studies against live servers and assert the key /metrics series are
+# present and non-zero and the trace endpoint serves a rooted span tree.
+test-obs:
+	$(GO) test -race ./internal/obs/...
+	$(GO) test -race -run 'MetricsEndToEnd|TraceEndToEnd|InlineCollections' \
 		./internal/sched/... ./internal/service/...
 
 bench:

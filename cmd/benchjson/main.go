@@ -22,11 +22,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 )
+
+// gitCommit returns the short commit hash of the working tree, or "" when
+// git (or a repository) is unavailable — attribution is best-effort, not
+// a reason to fail a benchmark recording.
+func gitCommit() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -43,8 +55,12 @@ type Result struct {
 // Document is one recorded benchmark run.
 type Document struct {
 	// RecordedAt and Label identify the run within a trajectory.
-	RecordedAt string   `json:"recorded_at,omitempty"`
-	Label      string   `json:"label,omitempty"`
+	RecordedAt string `json:"recorded_at,omitempty"`
+	Label      string `json:"label,omitempty"`
+	// Commit is the repository's short commit hash at recording time
+	// (suffixed -dirty when the tree had local changes), so trajectory
+	// entries attribute to commits without relying on -label discipline.
+	Commit     string   `json:"commit,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
 	GoVersion  string   `json:"go_version,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
@@ -101,6 +117,7 @@ func main() {
 		os.Exit(1)
 	}
 	doc.Label = *label
+	doc.Commit = gitCommit()
 
 	if *out == "" {
 		enc := json.NewEncoder(os.Stdout)

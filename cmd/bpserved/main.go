@@ -30,7 +30,13 @@
 //	curl -s 'localhost:8080/studies/s-000001?wait=30s'  # long-poll for the next change
 //	curl -s -X DELETE localhost:8080/studies/s-000001   # cancel
 //	curl -s localhost:8080/studies/s-000001/report
+//	curl -s localhost:8080/studies/s-000001/trace      # per-unit span tree
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics                      # Prometheus text format
+//
+// -debug-addr serves Go's pprof profiler on a separate address
+// (e.g. -debug-addr localhost:6060, then `go tool pprof
+// http://localhost:6060/debug/pprof/profile`).
 package main
 
 import (
@@ -46,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"barrierpoint/internal/obs"
 	"barrierpoint/internal/sched"
 	"barrierpoint/internal/service"
 )
@@ -64,6 +71,7 @@ func main() {
 		cacheMax    = flag.Int64("cache-max-bytes", 0, "persistent cache size bound in bytes (0 = unbounded)")
 		priority    = flag.Int("priority", 0,
 			fmt.Sprintf("default priority band for submissions that omit one (higher starts first, ±%d)", service.MaxPriority))
+		debugAddr = flag.String("debug-addr", "", "optional address serving net/http/pprof at /debug/pprof/ (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -102,6 +110,12 @@ func main() {
 	if len(workerURLs) > 0 {
 		fmt.Fprintf(os.Stderr, "bpserved: distributing units across %d workers: %s\n",
 			len(workerURLs), strings.Join(workerURLs, ", "))
+	}
+	if *debugAddr != "" {
+		fmt.Fprintf(os.Stderr, "bpserved: pprof on %s/debug/pprof/\n", *debugAddr)
+		obs.ServeDebug(*debugAddr, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "bpserved: "+format+"\n", args...)
+		})
 	}
 
 	srv := &http.Server{Handler: svc.Handler()}

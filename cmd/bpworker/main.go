@@ -16,6 +16,9 @@
 //	bpworker -addr :8081 -max-inflight 8 -cache-dir /var/cache/bp
 //
 //	curl -s localhost:8081/healthz
+//	curl -s localhost:8081/metrics   # Prometheus text format
+//
+// -debug-addr serves Go's pprof profiler on a separate address.
 package main
 
 import (
@@ -30,17 +33,19 @@ import (
 	"syscall"
 	"time"
 
+	"barrierpoint/internal/obs"
 	"barrierpoint/internal/service"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8081", "listen address")
-		inflight = flag.Int("max-inflight", 0, "concurrent units accepted (0 = GOMAXPROCS); excess requests get 429")
-		cache    = flag.Int("cache", 256, "result cache entries")
-		cacheMem = flag.Int64("cache-mem-bytes", 0, "in-memory result cache byte bound (0 = entries only)")
-		cacheDir = flag.String("cache-dir", "", "persistent cache directory, ideally shared with the fleet (empty = memory only)")
-		cacheMax = flag.Int64("cache-max-bytes", 0, "persistent cache size bound in bytes (0 = unbounded)")
+		addr      = flag.String("addr", ":8081", "listen address")
+		inflight  = flag.Int("max-inflight", 0, "concurrent units accepted (0 = GOMAXPROCS); excess requests get 429")
+		cache     = flag.Int("cache", 256, "result cache entries")
+		cacheMem  = flag.Int64("cache-mem-bytes", 0, "in-memory result cache byte bound (0 = entries only)")
+		cacheDir  = flag.String("cache-dir", "", "persistent cache directory, ideally shared with the fleet (empty = memory only)")
+		cacheMax  = flag.Int64("cache-max-bytes", 0, "persistent cache size bound in bytes (0 = unbounded)")
+		debugAddr = flag.String("debug-addr", "", "optional address serving net/http/pprof at /debug/pprof/ (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -65,6 +70,12 @@ func main() {
 	fmt.Fprintf(os.Stderr, "bpworker: serving units on %s\n", ln.Addr())
 	if *cacheDir != "" {
 		fmt.Fprintf(os.Stderr, "bpworker: persistent cache at %s\n", *cacheDir)
+	}
+	if *debugAddr != "" {
+		fmt.Fprintf(os.Stderr, "bpworker: pprof on %s/debug/pprof/\n", *debugAddr)
+		obs.ServeDebug(*debugAddr, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "bpworker: "+format+"\n", args...)
+		})
 	}
 
 	srv := &http.Server{Handler: w.Handler()}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns a mux serving net/http/pprof's profiling endpoints
+// under /debug/pprof/. It is an explicit mux rather than the package's
+// DefaultServeMux side effect, so the daemons only expose profiling on
+// the loopback-ish address the operator asked for (-debug-addr), never on
+// the service port.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts DebugHandler on addr in a background goroutine; an
+// empty addr is a no-op. Listen/serve failures are reported to logf — a
+// broken debug listener must not take the daemon down.
+func ServeDebug(addr string, logf func(format string, args ...any)) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, DebugHandler()); err != nil {
+			logf("obs: debug server on %s: %v", addr, err)
+		}
+	}()
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type of the text exposition format, the one
+// promhttp serves and Prometheus scrapes.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every family in Prometheus text exposition format.
+// Output is deterministic: families sort by name, series by label
+// values, so scrapes diff cleanly and golden tests can pin the format.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		writeFamily(bw, f)
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the registry's exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WriteText(w)
+	})
+}
+
+// writeFamily renders one family: HELP and TYPE headers, then one line
+// per series (histograms expand to _bucket/_sum/_count lines).
+func writeFamily(w *bufio.Writer, f *family) {
+	f.mu.Lock()
+	fn := f.fn
+	ss := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		ss = append(ss, s)
+	}
+	f.mu.Unlock()
+	if fn == nil && len(ss) == 0 {
+		return // a vec that never got a series has nothing to say
+	}
+	sort.Slice(ss, func(a, b int) bool {
+		return strings.Join(ss[a].labelValues, "\x00") < strings.Join(ss[b].labelValues, "\x00")
+	})
+
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteString("\n# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(string(f.typ))
+	w.WriteByte('\n')
+
+	if fn != nil {
+		writeSample(w, f.name, nil, nil, fn())
+		return
+	}
+	for _, s := range ss {
+		switch f.typ {
+		case TypeCounter:
+			writeSample(w, f.name, f.labels, s.labelValues, float64(s.counter.Value()))
+		case TypeGauge:
+			writeSample(w, f.name, f.labels, s.labelValues, float64(s.gauge.Value()))
+		case TypeHistogram:
+			// Fresh slices per series: appending to the family's shared
+			// label slice would race between concurrent scrapes.
+			bl := append(append(make([]string, 0, len(f.labels)+1), f.labels...), "le")
+			bv := append(make([]string, 0, len(s.labelValues)+1), s.labelValues...)
+			cum, sum := s.hist.snapshot()
+			for i, bound := range f.buckets {
+				writeSample(w, f.name+"_bucket", bl, append(bv, formatFloat(bound)), float64(cum[i]))
+			}
+			total := cum[len(cum)-1]
+			writeSample(w, f.name+"_bucket", bl, append(bv, "+Inf"), float64(total))
+			writeSample(w, f.name+"_sum", f.labels, s.labelValues, sum)
+			writeSample(w, f.name+"_count", f.labels, s.labelValues, float64(total))
+		}
+	}
+}
+
+// writeSample renders one `name{labels} value` line.
+func writeSample(w *bufio.Writer, name string, labels, values []string, v float64) {
+	w.WriteString(name)
+	if len(labels) > 0 {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: integral values without a decimal
+// point (counters read naturally), everything else in shortest form.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, "\\", `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusRecorder captures the response status for the route metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards http.Flusher when the underlying writer supports it —
+// long-poll responses must still stream through the recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// InstrumentHandler wraps an http.ServeMux-rooted handler with request
+// latency instrumentation: one `<name>{route,code}` histogram, where the
+// route label is the mux pattern that matched (the mux sets r.Pattern in
+// place during dispatch, so it is readable here afterwards) and code is
+// the response status. Unmatched requests are labelled "unmatched" so a
+// 404 storm is visible without creating a series per bogus path.
+func InstrumentHandler(reg *Registry, name string, next http.Handler) http.Handler {
+	hist := reg.HistogramVec(name, "HTTP request latency by route and status code.",
+		DefBuckets, "route", "code")
+	if hist == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		hist.With(route, strconv.Itoa(rec.code)).Observe(time.Since(start).Seconds())
+	})
+}

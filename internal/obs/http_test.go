@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestInstrumentHandler routes requests through an instrumented mux and
+// asserts the latency histogram keys on the matched pattern and status —
+// including the "unmatched" bucket for 404 noise.
+func TestInstrumentHandler(t *testing.T) {
+	reg := NewRegistry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /studies/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /studies", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+	})
+	ts := httptest.NewServer(InstrumentHandler(reg, "test_http_seconds", mux))
+	defer ts.Close()
+
+	if _, err := http.Get(ts.URL + "/studies/s-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(ts.URL + "/studies/s-2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Post(ts.URL+"/studies", "application/json", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(ts.URL + "/nope"); err != nil {
+		t.Fatal(err)
+	}
+
+	ss := parseExposition(t, scrape(t, reg))
+	if got := find(t, ss, "test_http_seconds_count",
+		map[string]string{"route": "GET /studies/{id}", "code": "200"}); got.value != 2 {
+		t.Errorf("GET count = %v, want 2", got.value)
+	}
+	if got := find(t, ss, "test_http_seconds_count",
+		map[string]string{"route": "POST /studies", "code": "202"}); got.value != 1 {
+		t.Errorf("POST count = %v, want 1", got.value)
+	}
+	if got := find(t, ss, "test_http_seconds_count",
+		map[string]string{"route": "unmatched", "code": "404"}); got.value != 1 {
+		t.Errorf("unmatched count = %v, want 1", got.value)
+	}
+}
+
+// TestInstrumentHandlerNilRegistry: wrapping with no registry returns the
+// handler unchanged.
+func TestInstrumentHandlerNilRegistry(t *testing.T) {
+	h := http.NewServeMux()
+	if got := InstrumentHandler(nil, "x", h); got != http.Handler(h) {
+		t.Error("nil registry should return next unchanged")
+	}
+}

@@ -1,0 +1,366 @@
+// Package obs is the fleet's observability substrate: a dependency-free
+// metrics registry with Prometheus text exposition, and a lightweight
+// span tracer for per-unit execution traces.
+//
+// The registry serves counters, gauges, histograms (fixed latency
+// buckets) and scrape-time func collectors, all safe for concurrent
+// update, rendered deterministically (families and series sorted) in the
+// text format Prometheus scrapes. Every handle type is nil-receiver
+// safe, so instrumented code paths never branch on whether observability
+// is wired up: a nil *Counter's Inc is a no-op costing one predicted
+// branch.
+//
+// The tracer records study → unit → cache/dispatch span trees keyed by
+// job, ring-buffered so a long-lived coordinator holds a bounded window
+// of recent traces. Spans propagate through context.Context, so layers
+// that never see each other (the scheduler, the remote dispatcher, the
+// cache) stitch into one tree.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType is the exposition TYPE of a family.
+type MetricType string
+
+// The exposition types the registry serves.
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// DefBuckets are the default latency histogram bucket upper bounds, in
+// seconds: microsecond cache probes through multi-minute discovery runs.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+	0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// Counter is a monotonically increasing integer metric. The zero value
+// is ready; a nil *Counter is a valid no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an integer metric that can go up and down. The zero value is
+// ready; a nil *Gauge is a valid no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() {
+	if g != nil {
+		g.v.Add(1)
+	}
+}
+
+// Dec subtracts one.
+func (g *Gauge) Dec() {
+	if g != nil {
+		g.v.Add(-1)
+	}
+}
+
+// Add adds n (n may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates observations into fixed cumulative buckets. The
+// sum is kept as float64 bits updated by CAS, so Observe never locks. A
+// nil *Histogram is a valid no-op.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds; implicit +Inf after
+	counts []atomic.Uint64 // len(bounds)+1, last = +Inf overflow
+	sum    atomic.Uint64   // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bound ≥ v; equal values belong to the bucket (le = ≤).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// snapshot returns the cumulative bucket counts (ending with the +Inf
+// total) and the sum of observations.
+func (h *Histogram) snapshot() (cum []uint64, sum float64) {
+	cum = make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+		cum[i] = total
+	}
+	return cum, math.Float64frombits(h.sum.Load())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// series is one labelled instance within a family.
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// family is one named metric with its help text, type and series.
+type family struct {
+	name    string
+	help    string
+	typ     MetricType
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]*series
+	// fn is a scrape-time collector (CounterFunc/GaugeFunc families).
+	fn func() float64
+}
+
+// getSeries returns (creating if needed) the series for the label values.
+func (f *family) getSeries(values []string) *series {
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labelValues: append([]string(nil), values...)}
+	switch f.typ {
+	case TypeCounter:
+		s.counter = &Counter{}
+	case TypeGauge:
+		s.gauge = &Gauge{}
+	case TypeHistogram:
+		s.hist = newHistogram(f.buckets)
+	}
+	f.series[key] = s
+	return s
+}
+
+// CounterVec is a family of counters partitioned by label values. A nil
+// *CounterVec is a valid no-op.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the label values (created on first use).
+// The number of values must match the declared labels.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.getSeries(values).counter
+}
+
+// GaugeVec is a family of gauges partitioned by label values. A nil
+// *GaugeVec is a valid no-op.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the label values (created on first use).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.getSeries(values).gauge
+}
+
+// HistogramVec is a family of histograms partitioned by label values. A
+// nil *HistogramVec is a valid no-op.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the label values (created on first use).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.getSeries(values).hist
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. A nil *Registry hands out nil (no-op) handles, so a
+// subsystem built against an absent registry costs nothing.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register returns the named family, creating it on first registration.
+// Re-registering an existing name returns the existing family when the
+// type and labels agree and panics otherwise — two subsystems disagreeing
+// about a metric's shape is a programming error worth failing loudly on.
+func (r *Registry) register(name, help string, typ MetricType, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || strings.Join(f.labels, ",") != strings.Join(labels, ",") {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s(%v), was %s(%v)",
+				name, typ, labels, f.typ, f.labels))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
+		series:  make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or fetches) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, TypeCounter, nil, nil).getSeries(nil).counter
+}
+
+// CounterVec registers (or fetches) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.register(name, help, TypeCounter, labels, nil)}
+}
+
+// Gauge registers (or fetches) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, TypeGauge, nil, nil).getSeries(nil).gauge
+}
+
+// GaugeVec registers (or fetches) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.register(name, help, TypeGauge, labels, nil)}
+}
+
+// Histogram registers (or fetches) an unlabelled histogram with the given
+// bucket upper bounds (DefBuckets if nil).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return r.register(name, help, TypeHistogram, nil, buckets).getSeries(nil).hist
+}
+
+// HistogramVec registers (or fetches) a labelled histogram family with
+// the given bucket upper bounds (DefBuckets if nil).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{f: r.register(name, help, TypeHistogram, labels, buckets)}
+}
+
+// CounterFunc registers a counter whose value is read at scrape time.
+// fn must be monotonically non-decreasing and safe for concurrent call;
+// it is how subsystems that already keep their own monotonic counters
+// (the result cache, the disk store) expose them without double
+// accounting.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.register(name, help, TypeCounter, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge whose value is read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.register(name, help, TypeGauge, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sample is one parsed exposition line.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseExposition parses the text format back into samples, failing the
+// test on any malformed line — the inverse of WriteText, so tests assert
+// on meaning (name/labels/value) rather than byte offsets.
+func parseExposition(t *testing.T, text string) []sample {
+	t.Helper()
+	var out []sample
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", ln+1, line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value in %q: %v", ln+1, line, err)
+		}
+		s := sample{name: line[:sp], labels: map[string]string{}, value: v}
+		if i := strings.IndexByte(s.name, '{'); i >= 0 {
+			if !strings.HasSuffix(s.name, "}") {
+				t.Fatalf("line %d: unterminated labels in %q", ln+1, line)
+			}
+			for _, pair := range strings.Split(s.name[i+1:len(s.name)-1], ",") {
+				k, val, ok := strings.Cut(pair, "=")
+				if !ok || len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+					t.Fatalf("line %d: bad label pair %q", ln+1, pair)
+				}
+				s.labels[k] = val[1 : len(val)-1]
+			}
+			s.name = s.name[:i]
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// find returns the sample matching name and labels, or fails.
+func find(t *testing.T, ss []sample, name string, labels map[string]string) sample {
+	t.Helper()
+	for _, s := range ss {
+		if s.name != name {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if s.labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s
+		}
+	}
+	t.Fatalf("no sample %s%v in %d samples", name, labels, len(ss))
+	return sample{}
+}
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestGoldenExposition pins the full text format — headers, ordering,
+// label quoting, histogram expansion — against a hand-written scrape.
+func TestGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_units_total", "Units executed.").Add(3)
+	r.GaugeVec("test_inflight", "In-flight units.", "worker").With("w1").Set(2)
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.GaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+
+	want := strings.Join([]string{
+		"# HELP test_inflight In-flight units.",
+		"# TYPE test_inflight gauge",
+		`test_inflight{worker="w1"} 2`,
+		"# HELP test_latency_seconds Latency.",
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{le="0.1"} 1`,
+		`test_latency_seconds_bucket{le="1"} 2`,
+		`test_latency_seconds_bucket{le="+Inf"} 3`,
+		"test_latency_seconds_sum 5.55",
+		"test_latency_seconds_count 3",
+		"# HELP test_units_total Units executed.",
+		"# TYPE test_units_total counter",
+		"test_units_total 3",
+		"# HELP test_uptime_seconds Uptime.",
+		"# TYPE test_uptime_seconds gauge",
+		"test_uptime_seconds 12.5",
+		"",
+	}, "\n")
+	if got := scrape(t, r); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExpositionParses drives the parser over a populated registry and
+// asserts individual name/label/value triples round-trip.
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("test_dispatch_total", "Dispatches.", "worker", "outcome")
+	cv.With("http://w1", "ok").Add(7)
+	cv.With("http://w2", "transport").Inc()
+	r.Gauge("test_depth", "Depth.").Set(-4)
+
+	ss := parseExposition(t, scrape(t, r))
+	if got := find(t, ss, "test_dispatch_total", map[string]string{"worker": "http://w1", "outcome": "ok"}); got.value != 7 {
+		t.Errorf("w1 ok = %v, want 7", got.value)
+	}
+	if got := find(t, ss, "test_dispatch_total", map[string]string{"worker": "http://w2", "outcome": "transport"}); got.value != 1 {
+		t.Errorf("w2 transport = %v, want 1", got.value)
+	}
+	if got := find(t, ss, "test_depth", nil); got.value != -4 {
+		t.Errorf("depth = %v, want -4", got.value)
+	}
+}
+
+// TestHistogramBucketsMonotonic checks the cumulative-bucket invariants
+// on which every quantile computation rests: bucket counts never decrease
+// with le, and the +Inf bucket equals _count.
+func TestHistogramBucketsMonotonic(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "Latency.", nil) // DefBuckets
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) * 0.37)
+	}
+	ss := parseExposition(t, scrape(t, r))
+	prev := -1.0
+	var inf float64
+	for _, s := range ss {
+		if s.name != "test_seconds_bucket" {
+			continue
+		}
+		if s.value < prev {
+			t.Errorf("bucket le=%s count %v < previous %v", s.labels["le"], s.value, prev)
+		}
+		prev = s.value
+		if s.labels["le"] == "+Inf" {
+			inf = s.value
+		}
+	}
+	count := find(t, ss, "test_seconds_count", nil)
+	if inf != count.value || count.value != 1000 {
+		t.Errorf("+Inf bucket %v, _count %v, want both 1000", inf, count.value)
+	}
+	if got := h.Count(); got != 1000 {
+		t.Errorf("Count() = %d, want 1000", got)
+	}
+}
+
+// TestCountersNeverDecrease scrapes between increments and asserts every
+// counter series is monotonic across scrapes.
+func TestCountersNeverDecrease(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "T.")
+	cv := r.CounterVec("test_labelled_total", "T.", "k")
+	last := map[string]float64{}
+	for round := 0; round < 5; round++ {
+		c.Inc()
+		cv.With("a").Add(2)
+		cv.With("b").Inc()
+		for _, s := range parseExposition(t, scrape(t, r)) {
+			key := fmt.Sprintf("%s%v", s.name, s.labels)
+			if s.value < last[key] {
+				t.Errorf("round %d: %s decreased %v -> %v", round, key, last[key], s.value)
+			}
+			last[key] = s.value
+		}
+	}
+}
+
+// TestConcurrentRegistry hammers one registry from many goroutines —
+// updates and scrapes interleaved — so `go test -race` proves the
+// lock-free handles and the exposition path are safe together.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("conc_total", "C.")
+			gv := r.GaugeVec("conc_gauge", "G.", "g")
+			h := r.HistogramVec("conc_seconds", "H.", nil, "g")
+			lbl := strconv.Itoa(g % 3)
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				gv.With(lbl).Add(1)
+				h.With(lbl).Observe(float64(i) / 100)
+			}
+		}(g)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var b strings.Builder
+				if err := r.WriteText(&b); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	ss := parseExposition(t, scrape(t, r))
+	if got := find(t, ss, "conc_total", nil); got.value != 8*500 {
+		t.Errorf("conc_total = %v, want %d", got.value, 8*500)
+	}
+}
+
+// TestNilHandles proves a fully absent registry costs nothing and panics
+// nowhere: every handle obtained from nil is a usable no-op.
+func TestNilHandles(t *testing.T) {
+	var r *Registry
+	r.Counter("x", "x").Inc()
+	r.CounterVec("x", "x", "l").With("v").Add(2)
+	r.Gauge("x", "x").Set(1)
+	r.GaugeVec("x", "x", "l").With("v").Dec()
+	r.Histogram("x", "x", nil).Observe(1)
+	r.HistogramVec("x", "x", nil, "l").With("v").Observe(1)
+	r.CounterFunc("x", "x", func() float64 { return 1 })
+	r.GaugeFunc("x", "x", func() float64 { return 1 })
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegisterConflictPanics: re-registering a name with a different
+// shape is a programming error and must fail loudly.
+func TestRegisterConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("shape_total", "C.")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering as gauge did not panic")
+		}
+	}()
+	r.Gauge("shape_total", "G.")
+}

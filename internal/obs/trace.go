@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one completed span as recorded into a job's ring buffer
+// and exported as JSONL. Timestamps are offsets from the job trace's
+// monotonic epoch, so records are immune to wall-clock jumps and compare
+// directly within a trace.
+type SpanRecord struct {
+	ID     int64  `json:"id"`
+	Parent int64  `json:"parent,omitempty"` // 0 = no parent (root)
+	Name   string `json:"name"`
+	// StartUS/DurUS are microseconds: start offset from the trace epoch
+	// and span duration.
+	StartUS int64             `json:"start_us"`
+	DurUS   int64             `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// SpanNode is a span with its children resolved — the tree shape
+// GET /studies/{id}/trace serves.
+type SpanNode struct {
+	SpanRecord
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Trace is the exported form of one job's span tree.
+type Trace struct {
+	Job string `json:"job"`
+	// Spans are the roots (normally one: the study span); children nest.
+	Spans []*SpanNode `json:"spans"`
+	// Dropped counts spans lost to the per-job ring bound: a non-zero
+	// value means the tree is a suffix of the execution, not all of it.
+	Dropped int `json:"dropped_spans,omitempty"`
+}
+
+// JobTrace accumulates the spans of one job in a bounded ring buffer.
+type JobTrace struct {
+	job   string
+	epoch time.Time
+
+	mu      sync.Mutex
+	nextID  int64
+	recs    []SpanRecord // ring once full
+	head    int          // next write position when full
+	full    bool
+	cap     int
+	dropped int
+}
+
+// Span is one in-progress operation. Start through JobTrace.Root or
+// Span.Child, finish with End; attributes attach with SetAttr. A nil
+// *Span is a valid no-op, which is what keeps uninstrumented paths
+// branch-free: SpanFromContext on a span-less context returns nil and
+// every child of nil is nil.
+type Span struct {
+	jt     *JobTrace
+	id     int64
+	parent int64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]string
+	ended bool
+}
+
+// NewJobTrace starts a trace for one job, retaining at most maxSpans
+// completed spans (ring-buffered; <= 0 means 4096).
+func NewJobTrace(job string, maxSpans int) *JobTrace {
+	if maxSpans <= 0 {
+		maxSpans = 4096
+	}
+	return &JobTrace{job: job, epoch: time.Now(), cap: maxSpans}
+}
+
+// Root starts a parentless span (the study span).
+func (jt *JobTrace) Root(name string) *Span {
+	return jt.start(0, name)
+}
+
+func (jt *JobTrace) start(parent int64, name string) *Span {
+	if jt == nil {
+		return nil
+	}
+	jt.mu.Lock()
+	jt.nextID++
+	id := jt.nextID
+	jt.mu.Unlock()
+	return &Span{jt: jt, id: id, parent: parent, name: name, start: time.Now()}
+}
+
+// record appends one completed span, overwriting the oldest once the
+// ring is full.
+func (jt *JobTrace) record(r SpanRecord) {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	if !jt.full {
+		jt.recs = append(jt.recs, r)
+		if len(jt.recs) >= jt.cap {
+			jt.full = true
+		}
+		return
+	}
+	jt.recs[jt.head] = r
+	jt.head = (jt.head + 1) % jt.cap
+	jt.dropped++
+}
+
+// snapshot returns the recorded spans in ring order plus the drop count.
+func (jt *JobTrace) snapshot() ([]SpanRecord, int) {
+	jt.mu.Lock()
+	defer jt.mu.Unlock()
+	out := make([]SpanRecord, 0, len(jt.recs))
+	if jt.full {
+		out = append(out, jt.recs[jt.head:]...)
+		out = append(out, jt.recs[:jt.head]...)
+	} else {
+		out = append(out, jt.recs...)
+	}
+	return out, jt.dropped
+}
+
+// Tree resolves the recorded spans into their parent/child tree. Spans
+// whose parent was dropped from the ring surface as extra roots rather
+// than disappearing. Roots and children are ordered by start time.
+func (jt *JobTrace) Tree() Trace {
+	recs, dropped := jt.snapshot()
+	nodes := make(map[int64]*SpanNode, len(recs))
+	for i := range recs {
+		nodes[recs[i].ID] = &SpanNode{SpanRecord: recs[i]}
+	}
+	var roots []*SpanNode
+	for _, n := range nodes {
+		if p, ok := nodes[n.Parent]; ok && n.Parent != n.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	byStart := func(ns []*SpanNode) {
+		sort.Slice(ns, func(a, b int) bool {
+			if ns[a].StartUS != ns[b].StartUS {
+				return ns[a].StartUS < ns[b].StartUS
+			}
+			return ns[a].ID < ns[b].ID
+		})
+	}
+	byStart(roots)
+	for _, n := range nodes {
+		byStart(n.Children)
+	}
+	return Trace{Job: jt.job, Spans: roots, Dropped: dropped}
+}
+
+// WriteJSONL streams the recorded spans one JSON object per line, in
+// recording (completion) order.
+func (jt *JobTrace) WriteJSONL(w io.Writer) error {
+	recs, _ := jt.snapshot()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(recs[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Child starts a sub-span of s. Child of a nil span is nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.jt.start(s.id, name)
+}
+
+// SetAttr attaches a key/value to the span (last write per key wins).
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[k] = v
+	s.mu.Unlock()
+}
+
+// End completes the span and records it. End is idempotent; spans never
+// ended are simply absent from the trace.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.jt.record(SpanRecord{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartUS: s.start.Sub(s.jt.epoch).Microseconds(),
+		DurUS:   end.Sub(s.start).Microseconds(),
+		Attrs:   attrs,
+	})
+}
+
+// ctxKey carries the active span through a context.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying the span as the active parent for
+// instrumented layers below.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFromContext returns the active span, or nil when the path is not
+// being traced (every Span method is nil-safe, so callers never branch).
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// Tracer retains the traces of the most recent jobs, ring-evicting the
+// oldest once the bound is reached.
+type Tracer struct {
+	mu       sync.Mutex
+	maxJobs  int
+	maxSpans int
+	jobs     map[string]*JobTrace
+	order    []string
+}
+
+// NewTracer returns a tracer retaining maxJobs job traces of up to
+// maxSpans spans each (defaults 64 and 4096 for values <= 0).
+func NewTracer(maxJobs, maxSpans int) *Tracer {
+	if maxJobs <= 0 {
+		maxJobs = 64
+	}
+	return &Tracer{maxJobs: maxJobs, maxSpans: maxSpans, jobs: make(map[string]*JobTrace)}
+}
+
+// StartJob begins (or restarts) the trace for a job, evicting the oldest
+// retained trace when the bound is exceeded. A nil Tracer returns a nil
+// JobTrace, whose spans are all no-ops.
+func (t *Tracer) StartJob(id string) *JobTrace {
+	if t == nil {
+		return nil
+	}
+	jt := NewJobTrace(id, t.maxSpans)
+	t.mu.Lock()
+	if _, exists := t.jobs[id]; !exists {
+		t.order = append(t.order, id)
+	}
+	t.jobs[id] = jt
+	for len(t.order) > t.maxJobs {
+		delete(t.jobs, t.order[0])
+		t.order = t.order[1:]
+	}
+	t.mu.Unlock()
+	return jt
+}
+
+// Job returns the retained trace for a job.
+func (t *Tracer) Job(id string) (*JobTrace, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	jt, ok := t.jobs[id]
+	t.mu.Unlock()
+	return jt, ok
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSpanTree records a study-shaped trace and asserts the exported tree
+// nests unit and cache spans under their parents with attributes intact.
+func TestSpanTree(t *testing.T) {
+	jt := NewJobTrace("s-000001", 0)
+	root := jt.Root("study")
+	root.SetAttr("app", "MCB")
+
+	unit := root.Child("unit:discover")
+	cacheSpan := unit.Child("cache:discover")
+	cacheSpan.SetAttr("hit", "false")
+	cacheSpan.End()
+	unit.End()
+	root.Child("unit:validate").End()
+	root.End()
+
+	tr := jt.Tree()
+	if tr.Job != "s-000001" {
+		t.Errorf("job = %q", tr.Job)
+	}
+	if tr.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0", tr.Dropped)
+	}
+	if len(tr.Spans) != 1 || tr.Spans[0].Name != "study" {
+		t.Fatalf("roots = %+v, want single study root", tr.Spans)
+	}
+	study := tr.Spans[0]
+	if study.Attrs["app"] != "MCB" {
+		t.Errorf("study attrs = %v", study.Attrs)
+	}
+	if len(study.Children) != 2 {
+		t.Fatalf("study children = %d, want 2", len(study.Children))
+	}
+	// Children sort by start time: discover began first.
+	if study.Children[0].Name != "unit:discover" || study.Children[1].Name != "unit:validate" {
+		t.Errorf("children = %q, %q", study.Children[0].Name, study.Children[1].Name)
+	}
+	d := study.Children[0]
+	if len(d.Children) != 1 || d.Children[0].Name != "cache:discover" || d.Children[0].Attrs["hit"] != "false" {
+		t.Errorf("discover children = %+v", d.Children)
+	}
+}
+
+// TestContextPropagation carries a span through a context, as the
+// scheduler does between layers that never see each other.
+func TestContextPropagation(t *testing.T) {
+	jt := NewJobTrace("j", 0)
+	root := jt.Root("study")
+	ctx := ContextWithSpan(context.Background(), root)
+	if got := SpanFromContext(ctx); got != root {
+		t.Fatalf("SpanFromContext = %v, want root", got)
+	}
+	if got := SpanFromContext(context.Background()); got != nil {
+		t.Fatalf("span-less context returned %v", got)
+	}
+	// Nil spans flow through every operation without panicking.
+	var nilSpan *Span
+	nilSpan.SetAttr("k", "v")
+	nilSpan.Child("c").End()
+	nilSpan.End()
+	if ctx2 := ContextWithSpan(context.Background(), nil); SpanFromContext(ctx2) != nil {
+		t.Error("nil span should not be stored")
+	}
+}
+
+// TestRingEviction bounds a trace at 4 spans, records more, and asserts
+// the oldest fall out, dropped counts them, and orphaned children
+// resurface as roots instead of vanishing.
+func TestRingEviction(t *testing.T) {
+	jt := NewJobTrace("j", 4)
+	root := jt.Root("study")
+	for i := 0; i < 6; i++ {
+		root.Child("unit").End()
+	}
+	root.End()
+
+	tr := jt.Tree()
+	if tr.Dropped != 3 {
+		t.Errorf("dropped = %d, want 3", tr.Dropped)
+	}
+	var total int
+	var walk func(ns []*SpanNode)
+	walk = func(ns []*SpanNode) {
+		for _, n := range ns {
+			total++
+			walk(n.Children)
+		}
+	}
+	walk(tr.Spans)
+	if total != 4 {
+		t.Errorf("retained %d spans, want 4", total)
+	}
+	// The root ended last, so it survived; the earliest units did not and
+	// the surviving ones hang off it.
+	if len(tr.Spans) == 0 {
+		t.Fatal("no roots")
+	}
+}
+
+// TestWriteJSONL asserts every line of the JSONL export parses back into
+// the span it recorded, in completion order.
+func TestWriteJSONL(t *testing.T) {
+	jt := NewJobTrace("j", 0)
+	root := jt.Root("study")
+	root.Child("unit:a").End()
+	root.Child("unit:b").End()
+	root.End()
+
+	var b strings.Builder
+	if err := jt.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if rec.ID == 0 {
+			t.Errorf("record without ID: %+v", rec)
+		}
+		names = append(names, rec.Name)
+	}
+	want := []string{"unit:a", "unit:b", "study"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+// TestTracerEviction bounds the tracer at 2 jobs and asserts the oldest
+// trace is evicted, while the survivors stay addressable.
+func TestTracerEviction(t *testing.T) {
+	tr := NewTracer(2, 0)
+	tr.StartJob("a").Root("study").End()
+	tr.StartJob("b").Root("study").End()
+	tr.StartJob("c").Root("study").End()
+	if _, ok := tr.Job("a"); ok {
+		t.Error("oldest job a should have been evicted")
+	}
+	for _, id := range []string{"b", "c"} {
+		if _, ok := tr.Job(id); !ok {
+			t.Errorf("job %s missing", id)
+		}
+	}
+	// Nil tracer: all no-ops.
+	var nilT *Tracer
+	nilT.StartJob("x").Root("r").End()
+	if _, ok := nilT.Job("x"); ok {
+		t.Error("nil tracer returned a job")
+	}
+}

@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"barrierpoint/internal/apps"
+	"barrierpoint/internal/cachestore"
 	"barrierpoint/internal/core"
 	"barrierpoint/internal/isa"
+	"barrierpoint/internal/obs"
 	"barrierpoint/internal/resultcache"
 )
 
@@ -72,6 +75,12 @@ type UnitRequest struct {
 	// Collections are the two configurations a validate unit scores
 	// against (x86_64 first).
 	Collections *[2]core.CollectConfig `json:"collections,omitempty"`
+	// InlineCols carries the two collection artifacts of a validate unit
+	// codec-serialised in the request itself. The coordinator attaches
+	// them when it already holds the collections, so a cold worker scores
+	// the set immediately instead of recomputing (or disk-loading)
+	// collections the coordinator just shipped it the configurations for.
+	InlineCols *[2]InlineArtifact `json:"inline_cols,omitempty"`
 
 	// In-band dependencies, never serialised: the coordinator populates
 	// them from artifacts it already holds so local execution costs no
@@ -81,6 +90,56 @@ type UnitRequest struct {
 	Base  *core.LDVBaseline     `json:"-"`
 	Set   *core.BarrierPointSet `json:"-"`
 	Cols  [2]*core.Collection   `json:"-"`
+}
+
+// InlineArtifact is one dependency artifact serialised into a unit
+// request with its cachestore codec — the same envelope unit responses
+// use, pointed the other way.
+type InlineArtifact struct {
+	Codec string `json:"codec"`
+	Data  []byte `json:"data"`
+}
+
+// attachInlineCols serialises the request's in-band collections into the
+// wire-visible InlineCols field. Attaching is best-effort: a value no
+// codec covers just ships without inline artifacts and the worker
+// re-resolves, exactly as before.
+func (r *UnitRequest) attachInlineCols() {
+	if r.Kind != UnitValidate || r.InlineCols != nil ||
+		r.Cols[0] == nil || r.Cols[1] == nil {
+		return
+	}
+	var inline [2]InlineArtifact
+	for i, col := range r.Cols {
+		codec, data, err := cachestore.Encode(col)
+		if err != nil {
+			return
+		}
+		inline[i] = InlineArtifact{Codec: codec, Data: data}
+	}
+	r.InlineCols = &inline
+}
+
+// adoptInlineCols decodes wire-shipped collection artifacts into the
+// in-band dependency slots. Decode failures (a codec this binary lacks,
+// corrupt data) discard the inline copy and fall back to re-resolution —
+// the request's visible coordinates still fully describe the unit.
+func (r *UnitRequest) adoptInlineCols() {
+	if r.InlineCols == nil {
+		return
+	}
+	for i := range r.InlineCols {
+		if r.Cols[i] != nil {
+			continue
+		}
+		v, err := cachestore.Decode(r.InlineCols[i].Codec, r.InlineCols[i].Data)
+		if err != nil {
+			continue
+		}
+		if col, ok := v.(*core.Collection); ok {
+			r.Cols[i] = col
+		}
+	}
 }
 
 // Key content-addresses the unit's artifact. Discovery and collection
@@ -263,13 +322,17 @@ func (e *LocalExecutor) ExecuteUnit(ctx context.Context, req UnitRequest) (any, 
 	if err != nil {
 		return nil, err
 	}
+	// Wire-shipped dependency artifacts become in-band ones before
+	// resolution, so a validate unit with inline collections skips the
+	// collect recomputation entirely.
+	req.adoptInlineCols()
 	build, err := e.resolveBuild(&req)
 	if err != nil {
 		return nil, err
 	}
 	switch req.Kind {
 	case UnitDiscoverBaseline:
-		return e.baseline(key, req, build)
+		return e.baseline(ctx, key, req, build)
 	case UnitDiscoverJittered:
 		base := req.Base
 		if base == nil {
@@ -282,13 +345,13 @@ func (e *LocalExecutor) ExecuteUnit(ctx context.Context, req UnitRequest) (any, 
 			if err != nil {
 				return nil, err
 			}
-			art, err := e.baseline(baseKey, baseReq, build)
+			art, err := e.baseline(ctx, baseKey, baseReq, build)
 			if err != nil {
 				return nil, err
 			}
 			base = art.base
 		}
-		v, _, err := e.Cache.Do(key, func() (any, error) {
+		v, err := cachedDo(ctx, e.Cache, req.Kind, key, func() (any, error) {
 			return core.DiscoverJittered(build, *req.Discovery, req.Run, base)
 		})
 		if err != nil {
@@ -296,7 +359,7 @@ func (e *LocalExecutor) ExecuteUnit(ctx context.Context, req UnitRequest) (any, 
 		}
 		return v, nil
 	case UnitCollect:
-		v, _, err := e.Cache.Do(key, func() (any, error) {
+		v, err := cachedDo(ctx, e.Cache, req.Kind, key, func() (any, error) {
 			return core.Collect(build, *req.Collect)
 		})
 		if err != nil {
@@ -309,9 +372,25 @@ func (e *LocalExecutor) ExecuteUnit(ctx context.Context, req UnitRequest) (any, 
 	return nil, fmt.Errorf("%w: unknown unit kind %q", ErrBadUnit, req.Kind)
 }
 
+// cachedDo is Cache.Do with a trace span recording whether the artifact
+// was computed or recalled. Traced studies see one "cache:<kind>" child
+// per resolution under the unit's span; untraced paths pay one nil check.
+func cachedDo(ctx context.Context, c *resultcache.Cache, kind UnitKind, key resultcache.Key, compute func() (any, error)) (any, error) {
+	sp := obs.SpanFromContext(ctx).Child("cache:" + string(kind))
+	v, hit, err := c.Do(key, compute)
+	if sp != nil {
+		sp.SetAttr("hit", strconv.FormatBool(hit))
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
+	return v, err
+}
+
 // baseline runs (or recalls) the canonical discovery run.
-func (e *LocalExecutor) baseline(key resultcache.Key, req UnitRequest, build core.ProgramBuilder) (baselineArtifact, error) {
-	v, _, err := e.Cache.Do(key, func() (any, error) {
+func (e *LocalExecutor) baseline(ctx context.Context, key resultcache.Key, req UnitRequest, build core.ProgramBuilder) (baselineArtifact, error) {
+	v, err := cachedDo(ctx, e.Cache, UnitDiscoverBaseline, key, func() (any, error) {
 		set, base, err := core.DiscoverBaseline(build, *req.Discovery)
 		if err != nil {
 			return nil, err

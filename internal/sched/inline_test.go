@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"barrierpoint/internal/core"
+	"barrierpoint/internal/obs"
+	"barrierpoint/internal/resultcache"
+)
+
+// cacheSpans executes req on a cold wire-path executor under a trace and
+// returns the artifact plus how many times each cache key kind was
+// resolved (the "cache:<kind>" spans recorded below the unit).
+func cacheSpans(t *testing.T, req UnitRequest) (any, map[string]int) {
+	t.Helper()
+	worker := &LocalExecutor{Cache: resultcache.New(64)}
+	jt := obs.NewJobTrace("t", 0)
+	root := jt.Root("unit")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	v, err := worker.ExecuteUnit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	counts := map[string]int{}
+	var walk func(ns []*obs.SpanNode)
+	walk = func(ns []*obs.SpanNode) {
+		for _, n := range ns {
+			counts[n.Name]++
+			walk(n.Children)
+		}
+	}
+	walk(jt.Tree().Spans)
+	return v, counts
+}
+
+// TestInlineCollectionsSkipRecompute: a validate unit shipped with its
+// collection artifacts inline scores the set on a cold worker without
+// re-resolving (recomputing) either collection, and produces exactly the
+// artifact the resolve-it-yourself path does. The JSON round trip stands
+// in for the wire: it strips the in-band fields and keeps InlineCols.
+func TestInlineCollectionsSkipRecompute(t *testing.T) {
+	req := testRequest(t)
+	cfg := req.Config.WithDefaults()
+	discCfg := cfg.Discovery()
+	colCfgs := cfg.Collections()
+	fpX86, err := fingerprint(req.App, req.Build, cfg.Threads, colCfgs[0].Variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpARM, err := fingerprint(req.App, req.Build, cfg.Threads, colCfgs[1].Variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The coordinator's side: it already holds both collections in-band.
+	coord := &LocalExecutor{Cache: resultcache.New(64)}
+	var cols [2]*core.Collection
+	for i := range colCfgs {
+		fp := fpX86
+		if i == 1 {
+			fp = fpARM
+		}
+		v, err := coord.ExecuteUnit(context.Background(), UnitRequest{
+			Kind: UnitCollect, App: req.App, FP: fp, Collect: &colCfgs[i], Build: req.Build,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols[i] = v.(*core.Collection)
+	}
+
+	unit := UnitRequest{
+		Kind: UnitValidate, App: req.App, FP: fpX86, FPARM: fpARM,
+		Discovery: &discCfg, Run: 1, Collections: &colCfgs,
+		Build: req.Build, Cols: cols,
+	}
+	unit.attachInlineCols()
+	if unit.InlineCols == nil {
+		t.Fatal("attachInlineCols did not serialise the held collections")
+	}
+
+	// The wire: JSON drops every json:"-" field (Build, Cols) but carries
+	// the inline artifacts.
+	data, err := json.Marshal(unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wired UnitRequest
+	if err := json.Unmarshal(data, &wired); err != nil {
+		t.Fatal(err)
+	}
+	if wired.Cols[0] != nil || wired.Build != nil {
+		t.Fatal("in-band fields leaked onto the wire")
+	}
+	if wired.InlineCols == nil {
+		t.Fatal("inline collections did not survive the wire")
+	}
+
+	got, withInline := cacheSpans(t, wired)
+	if n := withInline["cache:collect"]; n != 0 {
+		t.Errorf("cold worker resolved %d collections despite inline artifacts", n)
+	}
+
+	// The same request without inline artifacts re-resolves both.
+	stripped := wired
+	stripped.InlineCols = nil
+	want, without := cacheSpans(t, stripped)
+	if n := without["cache:collect"]; n != 2 {
+		t.Errorf("stripped request resolved %d collections, want 2", n)
+	}
+
+	if !reflect.DeepEqual(got, want) {
+		t.Error("inline-collection validate diverges from the re-resolving path")
+	}
+}

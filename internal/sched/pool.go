@@ -31,6 +31,10 @@ type Options struct {
 	// always used. A RemoteExecutor shards units across worker
 	// processes instead.
 	Executor Executor
+	// Metrics, when non-nil, receives per-unit instrumentation (latency
+	// histograms by kind, error counts, inflight gauge) for every unit
+	// the scheduler executes. Create once per process with NewMetrics.
+	Metrics *Metrics
 	// Progress, when non-nil, is called after each completed unit of work
 	// (a discovery run, a collection, a set validation) with the number of
 	// units finished so far and the total for the execution. Calls may

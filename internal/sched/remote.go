@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"barrierpoint/internal/cachestore"
+	"barrierpoint/internal/obs"
 	"barrierpoint/internal/resultcache"
 )
 
@@ -80,6 +81,48 @@ type RemoteOptions struct {
 	// Logf sinks dispatch diagnostics (worker failures, fallbacks).
 	// Defaults to log.Printf.
 	Logf func(format string, args ...any)
+	// Registry, when non-nil, receives the executor's dispatch metrics:
+	// attempt latency by outcome, retry/fallback/quarantine counters, and
+	// per-worker inflight/units/failures series.
+	Registry *obs.Registry
+}
+
+// remoteMetrics are the dispatch-side instrumentation handles. The zero
+// value (every handle nil) is a valid no-op.
+type remoteMetrics struct {
+	dispatchSeconds *obs.HistogramVec // outcome
+	remoteUnits     *obs.Counter
+	fallbacks       *obs.Counter
+	retries         *obs.Counter
+	quarantines     *obs.CounterVec // worker
+	workerInflight  *obs.GaugeVec   // worker
+	workerUnits     *obs.CounterVec // worker
+	workerFailures  *obs.CounterVec // worker
+}
+
+func newRemoteMetrics(reg *obs.Registry) remoteMetrics {
+	if reg == nil {
+		return remoteMetrics{}
+	}
+	return remoteMetrics{
+		dispatchSeconds: reg.HistogramVec("bp_dispatch_seconds",
+			"Remote unit dispatch attempt latency in seconds by outcome (ok, transport, busy, rejected, failed).",
+			obs.DefBuckets, "outcome"),
+		remoteUnits: reg.Counter("bp_dispatch_remote_units_total",
+			"Units resolved by the worker fleet."),
+		fallbacks: reg.Counter("bp_dispatch_fallbacks_total",
+			"Units resolved by the local fallback executor."),
+		retries: reg.Counter("bp_dispatch_retries_total",
+			"Dispatches that failed on one worker and moved to another."),
+		quarantines: reg.CounterVec("bp_dispatch_quarantines_total",
+			"Transport failures that quarantined a worker, by worker.", "worker"),
+		workerInflight: reg.GaugeVec("bp_dispatch_worker_inflight",
+			"Units currently dispatched to each worker.", "worker"),
+		workerUnits: reg.CounterVec("bp_dispatch_worker_units_total",
+			"Units each worker completed successfully.", "worker"),
+		workerFailures: reg.CounterVec("bp_dispatch_worker_failures_total",
+			"Transport-level dispatch failures by worker.", "worker"),
+	}
 }
 
 // NoFallback is a sentinel Executor for RemoteOptions.Fallback that fails
@@ -183,6 +226,7 @@ type RemoteExecutor struct {
 	maxBack  time.Duration
 	unitTO   time.Duration
 	logf     func(format string, args ...any)
+	metrics  remoteMetrics
 	now      func() time.Time // test hook
 
 	mu             sync.Mutex
@@ -245,6 +289,7 @@ func NewRemoteExecutor(workerAddrs []string, opts RemoteOptions) *RemoteExecutor
 		maxBack:  opts.MaxBackoff,
 		unitTO:   opts.UnitTimeout,
 		logf:     opts.Logf,
+		metrics:  newRemoteMetrics(opts.Registry),
 		now:      time.Now,
 	}
 	for _, addr := range workerAddrs {
@@ -328,6 +373,10 @@ func (e *RemoteExecutor) ExecuteUnit(ctx context.Context, req UnitRequest) (any,
 	if n == 0 {
 		return e.fallbackUnit(ctx, req, nil)
 	}
+	// Validate units ship the collections the coordinator already holds
+	// inline, so a cold worker does not recompute artifacts that exist a
+	// request away. Serialised once here, not per dispatch attempt.
+	req.attachInlineCols()
 	start := affinity(req.routingKey(key), n)
 	var lastErr error
 	// A saturated-but-healthy fleet (429s, or every inflight slot taken)
@@ -357,6 +406,8 @@ func (e *RemoteExecutor) ExecuteUnit(ctx context.Context, req UnitRequest) (any,
 				e.mu.Lock()
 				e.remoteUnits++
 				e.mu.Unlock()
+				e.metrics.remoteUnits.Inc()
+				e.metrics.workerUnits.With(w.url).Inc()
 				if e.cache != nil && cacheable {
 					e.cache.Put(key, v)
 				}
@@ -383,6 +434,9 @@ func (e *RemoteExecutor) ExecuteUnit(ctx context.Context, req UnitRequest) (any,
 				e.mu.Lock()
 				e.retries++
 				e.mu.Unlock()
+				e.metrics.retries.Inc()
+				e.metrics.quarantines.With(w.url).Inc()
+				e.metrics.workerFailures.With(w.url).Inc()
 				lastErr = err
 			}
 		}
@@ -404,6 +458,10 @@ func (e *RemoteExecutor) fallbackUnit(ctx context.Context, req UnitRequest, caus
 	e.mu.Lock()
 	e.localFallbacks++
 	e.mu.Unlock()
+	e.metrics.fallbacks.Inc()
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		sp.SetAttr("fallback", "local")
+	}
 	if cause != nil {
 		e.logf("sched: executing %s unit locally (no worker available: %v)", req.Kind, cause)
 		if e.fallback == NoFallback {
@@ -424,18 +482,49 @@ const (
 	unitPermanent             // 422: computation failed deterministically
 )
 
+// String names the verdict for metric labels and span attributes.
+func (v unitVerdict) String() string {
+	switch v {
+	case unitOK:
+		return "ok"
+	case unitTransport:
+		return "transport"
+	case unitBusy:
+		return "busy"
+	case unitRejected:
+		return "rejected"
+	case unitPermanent:
+		return "failed"
+	}
+	return "unknown"
+}
+
 // tryWorker dispatches one unit to one worker, honouring its inflight
 // bound. A worker with no free dispatch slot reports busy immediately
 // instead of blocking — blocking would chain this unit to whatever is
 // already queued on that worker (possibly a stalled one) while the rest
 // of the ring sits idle; the caller's busy sweep handles the waiting.
-func (e *RemoteExecutor) tryWorker(ctx context.Context, w *remoteWorker, req UnitRequest) (any, error, unitVerdict) {
+func (e *RemoteExecutor) tryWorker(ctx context.Context, w *remoteWorker, req UnitRequest) (v any, err error, verdict unitVerdict) {
+	start := e.now()
+	sp := obs.SpanFromContext(ctx).Child("dispatch")
+	defer func() {
+		e.metrics.dispatchSeconds.With(verdict.String()).Observe(e.now().Sub(start).Seconds())
+		if sp != nil {
+			sp.SetAttr("worker", w.url)
+			sp.SetAttr("outcome", verdict.String())
+			sp.End()
+		}
+	}()
 	select {
 	case w.sem <- struct{}{}:
 	default:
 		return nil, fmt.Errorf("sched: all %d dispatch slots to %s in use", cap(w.sem), w.url), unitBusy
 	}
-	defer func() { <-w.sem }()
+	e.metrics.workerInflight.With(w.url).Inc()
+	defer func() {
+		e.metrics.workerInflight.With(w.url).Dec()
+		<-w.sem
+	}()
 
 	if e.unitTO > 0 {
 		// The stall bound: a frozen worker otherwise never errors, and

@@ -7,6 +7,7 @@ import (
 	"barrierpoint/internal/core"
 	"barrierpoint/internal/isa"
 	"barrierpoint/internal/machine"
+	"barrierpoint/internal/obs"
 	"barrierpoint/internal/resultcache"
 )
 
@@ -158,11 +159,12 @@ func Run(ctx context.Context, req StudyRequest, opts Options) (*core.StudyResult
 	}
 	if cache != nil {
 		if v, ok := cache.Get(studyKey); ok {
+			obs.SpanFromContext(ctx).SetAttr("study_cache", "hit")
 			prog.finish()
 			return v.(*core.StudyResult), nil
 		}
 	}
-	exec := opts.executor()
+	exec := instrument(ctx, opts.executor(), opts.Metrics)
 
 	// The study runs as flat stages so at most `workers` units are ever
 	// in flight (nesting fan-outs would transiently exceed the bound).
@@ -275,7 +277,7 @@ func Discover(ctx context.Context, req DiscoverRequest, opts Options) ([]core.Ba
 			return nil, err
 		}
 	}
-	exec := opts.executor()
+	exec := instrument(ctx, opts.executor(), opts.Metrics)
 	sets := make([]core.BarrierPointSet, cfg.Runs)
 	prog := newProgress(opts.Progress, cfg.Runs)
 	art, err := executeBaseline(ctx, exec, UnitRequest{
@@ -315,7 +317,7 @@ func Collect(ctx context.Context, req CollectRequest, opts Options) (*core.Colle
 		}
 	}
 	prog := newProgress(opts.Progress, 1)
-	col, err := executeCollect(ctx, opts.executor(), UnitRequest{
+	col, err := executeCollect(ctx, instrument(ctx, opts.executor(), opts.Metrics), UnitRequest{
 		Kind: UnitCollect, App: req.App, FP: fp,
 		Collect: &req.Config, Build: req.Build,
 	})

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"barrierpoint/internal/obs"
+	"barrierpoint/internal/resultcache"
+)
+
+// registerCacheMetrics exposes the result cache's internal counters as
+// bp_cache_* series and, when a persistent store backs the cache, the
+// store's as bp_cachestore_*. The cache already keeps these as monotonic
+// atomics, so scrape-time func collectors read Cache.Stats() instead of
+// double-accounting on the hot path.
+func registerCacheMetrics(reg *obs.Registry, c *resultcache.Cache) {
+	if reg == nil || c == nil {
+		return
+	}
+	counter := func(name, help string, pick func(resultcache.Stats) uint64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(pick(c.Stats())) })
+	}
+	gauge := func(name, help string, pick func(resultcache.Stats) int64) {
+		reg.GaugeFunc(name, help, func() float64 { return float64(pick(c.Stats())) })
+	}
+	counter("bp_cache_hits_total", "Result cache lookups served from memory.",
+		func(st resultcache.Stats) uint64 { return st.Hits })
+	counter("bp_cache_misses_total", "Result cache lookups that found nothing in memory.",
+		func(st resultcache.Stats) uint64 { return st.Misses })
+	counter("bp_cache_puts_total", "Values inserted into the result cache.",
+		func(st resultcache.Stats) uint64 { return st.Puts })
+	counter("bp_cache_evictions_total", "Entries evicted from the in-memory result cache.",
+		func(st resultcache.Stats) uint64 { return st.Evictions })
+	counter("bp_cache_disk_hits_total", "Memory misses served from the persistent store.",
+		func(st resultcache.Stats) uint64 { return st.DiskHits })
+	counter("bp_cache_spills_total", "Entries written behind to the persistent store.",
+		func(st resultcache.Stats) uint64 { return st.Spills })
+	counter("bp_cache_spill_errors_total", "Write-behinds that never reached the persistent store.",
+		func(st resultcache.Stats) uint64 { return st.SpillErrors })
+	gauge("bp_cache_entries", "Entries currently held in the in-memory result cache.",
+		func(st resultcache.Stats) int64 { return int64(st.Entries) })
+	gauge("bp_cache_bytes", "Approximate heap bytes held by in-memory cached values.",
+		func(st resultcache.Stats) int64 { return st.Bytes })
+
+	// Store counters only exist with a persistent backing store; the shape
+	// of Stats() is fixed at construction, so probing once is enough.
+	if c.Stats().Disk == nil {
+		return
+	}
+	dcounter := func(name, help string, pick func(resultcache.StoreStats) uint64) {
+		reg.CounterFunc(name, help, func() float64 {
+			if d := c.Stats().Disk; d != nil {
+				return float64(pick(*d))
+			}
+			return 0
+		})
+	}
+	dgauge := func(name, help string, pick func(resultcache.StoreStats) int64) {
+		reg.GaugeFunc(name, help, func() float64 {
+			if d := c.Stats().Disk; d != nil {
+				return float64(pick(*d))
+			}
+			return 0
+		})
+	}
+	dcounter("bp_cachestore_hits_total", "Persistent store reads that found the entry.",
+		func(st resultcache.StoreStats) uint64 { return st.Hits })
+	dcounter("bp_cachestore_misses_total", "Persistent store reads that found nothing.",
+		func(st resultcache.StoreStats) uint64 { return st.Misses })
+	dcounter("bp_cachestore_writes_total", "Entries written to the persistent store.",
+		func(st resultcache.StoreStats) uint64 { return st.Writes })
+	dcounter("bp_cachestore_evictions_total", "Entries evicted from the persistent store by its byte bound.",
+		func(st resultcache.StoreStats) uint64 { return st.Evictions })
+	dcounter("bp_cachestore_dropped_corrupt_total", "Persistent store entries dropped as corrupt.",
+		func(st resultcache.StoreStats) uint64 { return st.DroppedCorrupt })
+	dgauge("bp_cachestore_entries", "Entries currently in the persistent store.",
+		func(st resultcache.StoreStats) int64 { return int64(st.Entries) })
+	dgauge("bp_cachestore_bytes", "Bytes currently in the persistent store.",
+		func(st resultcache.StoreStats) int64 { return st.Bytes })
+}

@@ -3,7 +3,11 @@ package service
 import (
 	"container/heap"
 	"errors"
+	"strconv"
 	"sync"
+	"time"
+
+	"barrierpoint/internal/obs"
 )
 
 // Queue rejection causes, mapped to 503 by submit.
@@ -18,6 +22,7 @@ type queueItem struct {
 	pri int    // higher pops first
 	seq uint64 // submission order; lower pops first within a band
 	idx int    // heap index, maintained by queueHeap
+	enq time.Time
 }
 
 // queueHeap orders items by descending priority, then submission order.
@@ -63,6 +68,23 @@ type jobQueue struct {
 	depth    int
 	seq      uint64
 	closed   bool
+	met      queueMetrics
+}
+
+// queueMetrics holds the per-band depth gauge and queue-wait histogram.
+// All handles are nil-safe no-ops, so an uninstrumented queue pays only
+// the time.Now call on push.
+type queueMetrics struct {
+	depth *obs.GaugeVec
+	wait  *obs.HistogramVec
+	now   func() time.Time
+}
+
+func (m queueMetrics) clock() time.Time {
+	if m.now != nil {
+		return m.now()
+	}
+	return time.Now()
 }
 
 func newJobQueue(depth int) *jobQueue {
@@ -73,6 +95,12 @@ func newJobQueue(depth int) *jobQueue {
 	q.nonEmpty.L = &q.mu
 	return q
 }
+
+// instrument attaches metric handles; call before the queue is used.
+func (q *jobQueue) instrument(m queueMetrics) { q.met = m }
+
+// band renders a priority as the metric label for its queue band.
+func band(pri int) string { return strconv.Itoa(pri) }
 
 // push enqueues the job at the given priority.
 func (q *jobQueue) push(j *job, pri int) error {
@@ -85,9 +113,10 @@ func (q *jobQueue) push(j *job, pri int) error {
 		return errQueueFull
 	}
 	q.seq++
-	it := &queueItem{j: j, pri: pri, seq: q.seq}
+	it := &queueItem{j: j, pri: pri, seq: q.seq, enq: q.met.clock()}
 	heap.Push(&q.items, it)
 	q.byJob[j] = it
+	q.met.depth.With(band(pri)).Inc()
 	q.nonEmpty.Signal()
 	return nil
 }
@@ -106,6 +135,8 @@ func (q *jobQueue) pop() (*job, bool) {
 	}
 	it := heap.Pop(&q.items).(*queueItem)
 	delete(q.byJob, it.j)
+	q.met.depth.With(band(it.pri)).Dec()
+	q.met.wait.With(band(it.pri)).Observe(q.met.clock().Sub(it.enq).Seconds())
 	return it.j, true
 }
 
@@ -121,6 +152,9 @@ func (q *jobQueue) remove(j *job) bool {
 	}
 	heap.Remove(&q.items, it.idx)
 	delete(q.byJob, j)
+	// Cancelled before starting: drop from depth, but do not record a
+	// queue wait — the histogram tracks time-to-start only.
+	q.met.depth.With(band(it.pri)).Dec()
 	return true
 }
 
@@ -137,6 +171,7 @@ func (q *jobQueue) close() []*job {
 	for len(q.items) > 0 {
 		it := heap.Pop(&q.items).(*queueItem)
 		delete(q.byJob, it.j)
+		q.met.depth.With(band(it.pri)).Dec()
 		drained = append(drained, it.j)
 	}
 	q.nonEmpty.Broadcast()

@@ -53,6 +53,7 @@ import (
 	"barrierpoint/internal/apps"
 	"barrierpoint/internal/cachestore"
 	"barrierpoint/internal/core"
+	"barrierpoint/internal/obs"
 	"barrierpoint/internal/resultcache"
 	"barrierpoint/internal/sched"
 )
@@ -127,9 +128,11 @@ type JobStatus struct {
 
 // Health is the GET /healthz body.
 type Health struct {
-	Status  string        `json:"status"`
-	Workers int           `json:"workers"`
-	Jobs    map[State]int `json:"jobs"`
+	Status string `json:"status"`
+	// UptimeSeconds is how long this server process has been up.
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Workers       int           `json:"workers"`
+	Jobs          map[State]int `json:"jobs"`
 	// QueueDepth is the number of submitted-but-unstarted jobs;
 	// QueueByPriority breaks it down per scheduling band (bands with
 	// queued jobs only — JSON object keys are the band numbers).
@@ -305,6 +308,15 @@ type Server struct {
 	logf       func(format string, args ...any)
 	defaultPri int
 
+	// Observability: the process-wide metric registry (served at
+	// GET /metrics), the per-study span tracer (GET /studies/{id}/trace),
+	// the process start time behind uptime, and the per-state job
+	// transition counter.
+	reg       *obs.Registry
+	tracer    *obs.Tracer
+	start     time.Time
+	jobsTotal *obs.CounterVec
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	queue  *jobQueue
@@ -360,6 +372,9 @@ func New(cfg Config) (*Server, error) {
 		now:        cfg.Now,
 		logf:       cfg.Logf,
 		defaultPri: cfg.DefaultPriority,
+		reg:        obs.NewRegistry(),
+		tracer:     obs.NewTracer(64, 4096),
+		start:      cfg.Now(),
 		ctx:        ctx,
 		cancel:     cancel,
 		queue:      newJobQueue(cfg.QueueDepth),
@@ -367,6 +382,20 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.maxJobs = cfg.MaxJobs
 	s.opts.Cache = s.cache
+	s.opts.Metrics = sched.NewMetrics(s.reg)
+	s.jobsTotal = s.reg.CounterVec("bp_jobs_total",
+		"Job state transitions, by the state entered.", "state")
+	s.reg.GaugeFunc("bp_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return s.now().Sub(s.start).Seconds() })
+	s.queue.instrument(queueMetrics{
+		depth: s.reg.GaugeVec("bp_queue_depth",
+			"Submitted-but-unstarted jobs, by priority band.", "band"),
+		wait: s.reg.HistogramVec("bp_queue_wait_seconds",
+			"Time jobs spent queued before an executor claimed them, by priority band.",
+			nil, "band"),
+		now: s.now,
+	})
+	registerCacheMetrics(s.reg, s.cache)
 	if len(cfg.WorkerURLs) > 0 {
 		// Distributed mode: units go to the fleet, with the server's own
 		// cache as the dispatch-side memo and the fallback's substrate.
@@ -374,6 +403,7 @@ func New(cfg Config) (*Server, error) {
 			PerWorkerInflight: cfg.WorkerInflight,
 			Cache:             s.cache,
 			Logf:              cfg.Logf,
+			Registry:          s.reg,
 		})
 		s.opts.Executor = s.remote
 	}
@@ -396,11 +426,39 @@ func (s *Server) Close() {
 	s.cancel()
 	s.wg.Wait()
 	for _, j := range drained {
-		j.finish(s.now(), StateCancelled, errServerClosed)
+		s.markTerminal(j, StateCancelled, errServerClosed)
 	}
 	if err := s.cache.Close(); err != nil {
 		s.logf("service: closing cache store: %v", err)
 	}
+}
+
+// noteTransition counts one job state transition and logs it as a single
+// structured line: study, state, app, priority, plus duration (start →
+// finish, or submit → finish for jobs that never started) and error on
+// terminal states.
+func (s *Server) noteTransition(j *job, st State) {
+	s.jobsTotal.With(string(st)).Inc()
+	snap := j.snapshot()
+	line := fmt.Sprintf("service: study=%s state=%s app=%s priority=%d",
+		snap.ID, st, snap.Request.App, snap.Priority)
+	if st.terminal() && snap.FinishedAt != nil {
+		from := snap.SubmittedAt
+		if snap.StartedAt != nil {
+			from = *snap.StartedAt
+		}
+		line += fmt.Sprintf(" duration=%s", snap.FinishedAt.Sub(from).Round(time.Millisecond))
+	}
+	if snap.Error != "" && (st == StateFailed || st == StateCancelled) {
+		line += fmt.Sprintf(" error=%q", snap.Error)
+	}
+	s.logf("%s", line)
+}
+
+// markTerminal finishes the job and records the transition.
+func (s *Server) markTerminal(j *job, st State, err error) {
+	j.finish(s.now(), st, err)
+	s.noteTransition(j, st)
 }
 
 // execute is one executor goroutine: it pops jobs in priority order until
@@ -430,11 +488,13 @@ func (s *Server) runJob(j *job) {
 		j.status.Error = context.Canceled.Error()
 		j.bumpLocked()
 		j.mu.Unlock()
+		s.noteTransition(j, StateCancelled)
 		return
 	}
 	j.cancel = cancel
 	j.status.State = StateRunning
 	j.status.StartedAt = &started
+	id := j.status.ID
 	req := j.status.Request
 	cfg := core.StudyConfig{
 		Threads:    req.Threads,
@@ -447,6 +507,15 @@ func (s *Server) runJob(j *job) {
 	j.status.Progress = &Progress{UnitsTotal: sched.StudyUnits(cfg)}
 	j.bumpLocked()
 	j.mu.Unlock()
+	s.noteTransition(j, StateRunning)
+
+	// The study root span: every unit, cache probe and dispatch below
+	// attaches as a descendant via the context.
+	root := s.tracer.StartJob(id).Root("study")
+	root.SetAttr("app", req.App)
+	root.SetAttr("threads", strconv.Itoa(req.Threads))
+	root.SetAttr("runs", strconv.Itoa(cfg.Runs))
+	ctx = obs.ContextWithSpan(ctx, root)
 
 	res, err := s.runStudy(ctx, j, req.App, cfg)
 
@@ -455,6 +524,7 @@ func (s *Server) runJob(j *job) {
 	wasCancelled := j.cancelRequested
 	j.mu.Unlock()
 
+	final := StateDone
 	switch {
 	case err == nil:
 		finished := s.now()
@@ -466,13 +536,21 @@ func (s *Server) runJob(j *job) {
 		j.result = res
 		j.bumpLocked()
 		j.mu.Unlock()
+		s.noteTransition(j, StateDone)
 	case errors.Is(err, context.Canceled) && (wasCancelled || s.ctx.Err() != nil):
 		// Cancelled via DELETE, or the server shut down underneath the
 		// study: either way the study was stopped, it did not fail.
-		j.finish(s.now(), StateCancelled, err)
+		final = StateCancelled
+		s.markTerminal(j, StateCancelled, err)
 	default:
-		j.finish(s.now(), StateFailed, err)
+		final = StateFailed
+		s.markTerminal(j, StateFailed, err)
 	}
+	root.SetAttr("state", string(final))
+	if err != nil {
+		root.SetAttr("error", err.Error())
+	}
+	root.End()
 }
 
 // runStudy executes the job's study on the scheduler with a per-job
@@ -545,6 +623,7 @@ func (s *Server) submit(req SubmitRequest) (JobStatus, int, error) {
 	s.order = append(s.order, j.status.ID)
 	s.pruneJobs()
 	s.mu.Unlock()
+	s.noteTransition(j, StateQueued)
 	return j.snapshot(), http.StatusAccepted, nil
 }
 
@@ -560,7 +639,7 @@ func (s *Server) cancelJob(j *job) (JobStatus, int, error) {
 		j.mu.Lock()
 		j.cancelRequested = true
 		j.mu.Unlock()
-		j.finish(s.now(), StateCancelled, errors.New("service: cancelled before start"))
+		s.markTerminal(j, StateCancelled, errors.New("service: cancelled before start"))
 		return j.snapshot(), http.StatusOK, nil
 	}
 	j.mu.Lock()
@@ -641,8 +720,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /studies/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /studies/{id}", s.handleCancel)
 	mux.HandleFunc("GET /studies/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /studies/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	return mux
+	mux.Handle("GET /metrics", s.reg.Handler())
+	return obs.InstrumentHandler(s.reg, "bp_http_request_seconds", mux)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -767,6 +848,32 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	renderReport(w, res)
 }
 
+// handleTrace serves the span tree recorded for one study — as a nested
+// JSON tree by default, or one span per line with ?format=jsonl. Traces
+// exist once a job starts and are retained for the most recent jobs only,
+// so a 404 here can mean not-started as well as evicted.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.lookup(id); !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown study %q", id))
+		return
+	}
+	jt, ok := s.tracer.Job(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound,
+			fmt.Errorf("service: no trace for study %s (not started, or evicted)", id))
+		return
+	}
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := jt.WriteJSONL(w); err != nil {
+			s.logf("service: writing trace for %s: %v", id, err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, jt.Tree())
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	counts := map[State]int{
 		StateQueued: 0, StateRunning: 0, StateDone: 0, StateFailed: 0, StateCancelled: 0,
@@ -776,6 +883,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	h := Health{
 		Status:          "ok",
+		UptimeSeconds:   s.now().Sub(s.start).Seconds(),
 		Workers:         s.opts.Workers,
 		Jobs:            counts,
 		QueueDepth:      s.queue.len(),

@@ -12,6 +12,7 @@ import (
 
 	"barrierpoint/internal/apps"
 	"barrierpoint/internal/cachestore"
+	"barrierpoint/internal/obs"
 	"barrierpoint/internal/resultcache"
 	"barrierpoint/internal/sched"
 )
@@ -61,8 +62,9 @@ type WorkerHealth struct {
 // needs no job state — just compute, memoise, serialise. Create with
 // NewWorker, expose with Handler, stop with Close.
 type Worker struct {
-	exec     *sched.LocalExecutor
+	exec     sched.Executor
 	cache    *resultcache.Cache
+	reg      *obs.Registry
 	sem      chan struct{}
 	logf     func(format string, args ...any)
 	start    time.Time
@@ -94,13 +96,35 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		MaxBytes:   cfg.CacheBytes,
 		Store:      store,
 	})
-	return &Worker{
-		exec:  &sched.LocalExecutor{Cache: cache},
+	reg := obs.NewRegistry()
+	w := &Worker{
+		// Every unit the worker executes flows through the same
+		// instrumentation seam as the coordinator's: latency histograms by
+		// kind, error counts, inflight gauge — under the same bp_sched_*
+		// names, distinguished by which process is scraped.
+		exec:  sched.InstrumentExecutor(&sched.LocalExecutor{Cache: cache}, sched.NewMetrics(reg)),
 		cache: cache,
+		reg:   reg,
 		sem:   make(chan struct{}, cfg.MaxInflight),
 		logf:  cfg.Logf,
 		start: time.Now(),
-	}, nil
+	}
+	// The protocol counters already live as atomics for /healthz; expose
+	// them to scrapes without double accounting.
+	reg.CounterFunc("bp_worker_units_total", "Units executed to completion by this worker.",
+		func() float64 { return float64(w.units.Load()) })
+	reg.CounterFunc("bp_worker_unit_errors_total", "Units whose computation failed on this worker.",
+		func() float64 { return float64(w.unitErrs.Load()) })
+	reg.CounterFunc("bp_worker_rejected_total", "Unit requests this worker can never execute (version skew).",
+		func() float64 { return float64(w.rejected.Load()) })
+	reg.CounterFunc("bp_worker_busy_total", "Unit requests pushed back with 429 at capacity.",
+		func() float64 { return float64(w.busy.Load()) })
+	reg.GaugeFunc("bp_worker_inflight", "Units currently executing on this worker.",
+		func() float64 { return float64(len(w.sem)) })
+	reg.GaugeFunc("bp_uptime_seconds", "Seconds since the worker started.",
+		func() float64 { return time.Since(w.start).Seconds() })
+	registerCacheMetrics(reg, cache)
+	return w, nil
 }
 
 // Close flushes pending cache write-behinds and closes the backing store.
@@ -114,7 +138,8 @@ func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /units", w.handleUnit)
 	mux.HandleFunc("GET /healthz", w.handleHealth)
-	return mux
+	mux.Handle("GET /metrics", w.reg.Handler())
+	return obs.InstrumentHandler(w.reg, "bp_http_request_seconds", mux)
 }
 
 // handleUnit executes one unit request. Status codes are protocol:
