@@ -7,14 +7,15 @@ GO ?= go
 BENCHTIME ?= 1s
 BENCH_OUT ?= BENCH_pipeline.json
 
-.PHONY: ci fmt-check vet build test-short test test-race test-persist \
-	test-dist test-obs bench bench-json bench-json-smoke
+.PHONY: ci fmt-check vet lint lint-smoke build test-short test test-race \
+	test-persist test-dist test-obs bench bench-json bench-json-smoke
 
-# ci is the tier-1 gate: formatting, static checks, build, fast tests,
-# the race detector over the concurrent subsystems, the persistence
-# suite, the distributed-execution suite, the observability suite, and a
-# 1x smoke of the bench-json harness so it cannot bit-rot.
-ci: fmt-check vet build test-short test-race test-persist test-dist test-obs bench-json-smoke
+# ci is the tier-1 gate: formatting, static checks (go vet plus the
+# project's own bpvet analyzers), build, fast tests, the race detector
+# over the whole tree, the persistence suite, the distributed-execution
+# suite, the observability suite, and a 1x smoke of the bench-json
+# harness so it cannot bit-rot.
+ci: fmt-check vet lint build test-short test-race test-persist test-dist test-obs bench-json-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -22,6 +23,25 @@ fmt-check:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs cmd/bpvet, the project-specific analyzer suite (keyfields,
+# locksafe, spanend, codecreg, noalloc — see the README "Static
+# analysis" section), then proves the gate still bites: each analyzer's
+# deliberate-violation corpus must make bpvet exit non-zero.
+lint:
+	$(GO) run ./cmd/bpvet ./...
+	@$(MAKE) --no-print-directory lint-smoke
+
+lint-smoke:
+	@for dir in \
+		internal/analysis/testdata/keyfields/bad \
+		internal/analysis/testdata/locksafe/bad/service \
+		internal/analysis/testdata/spanend/bad \
+		internal/analysis/testdata/codecreg/bad \
+		internal/analysis/testdata/noalloc/bad; do \
+		if $(GO) run ./cmd/bpvet ./$$dir >/dev/null 2>&1; then \
+			echo "lint-smoke: bpvet did not flag $$dir"; exit 1; fi; \
+	done; echo "lint-smoke: bpvet flags all violation corpora"
 
 build:
 	$(GO) build ./...
@@ -34,13 +54,13 @@ test-short:
 test:
 	$(GO) test ./...
 
-# test-race gates the concurrency-heavy packages (scheduler fan-out,
-# in-flight result cache and write-behind spiller, disk store, job
-# queue/cancel/Close interleavings) under the race detector — plus the
-# signature collectors (mem, pin), which are reused across regions and fan
-# out under the scheduler.
+# test-race runs the whole tree under the race detector (-short skips
+# the slow experiment sweeps, which test-persist/test-dist/test-obs
+# already cover under -race where concurrency matters). It used to gate
+# a hand-picked package list; a new concurrent package is now covered the
+# day it lands instead of when someone remembers to add it here.
 test-race:
-	$(GO) test -race ./internal/obs/... ./internal/sched/... ./internal/resultcache/... ./internal/service/... ./internal/cachestore/... ./internal/mem/... ./internal/pin/...
+	$(GO) test -race -short ./...
 
 # test-persist exercises the persistent cache store and every layer's
 # warm-restart path (store scan/eviction/corruption recovery, scheduler,

@@ -1,0 +1,75 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"barrierpoint/internal/analysis"
+)
+
+// Each analyzer runs over its bad corpus (every `want` must fire, and
+// nothing else) and its good corpus (nothing may fire) in one load, so
+// the corpora double as the fixture for `make lint`'s failure smoke.
+
+func TestKeyFields(t *testing.T) {
+	analysis.RunCorpus(t, analysis.KeyFields,
+		"./testdata/keyfields/bad", "./testdata/keyfields/good")
+}
+
+func TestLockSafe(t *testing.T) {
+	analysis.RunCorpus(t, analysis.LockSafe,
+		"./testdata/locksafe/bad/service", "./testdata/locksafe/good/service")
+}
+
+func TestSpanEnd(t *testing.T) {
+	analysis.RunCorpus(t, analysis.SpanEnd,
+		"./testdata/spanend/bad", "./testdata/spanend/good")
+}
+
+func TestCodecReg(t *testing.T) {
+	analysis.RunCorpus(t, analysis.CodecReg,
+		"./testdata/codecreg/bad", "./testdata/codecreg/good")
+}
+
+func TestNoAlloc(t *testing.T) {
+	analysis.RunCorpus(t, analysis.NoAlloc,
+		"./testdata/noalloc/bad", "./testdata/noalloc/good")
+}
+
+// TestCorporaDeclareWants guards against a silently empty corpus: if a
+// bad file lost its want comments, its test above could pass without
+// checking anything.
+func TestCorporaDeclareWants(t *testing.T) {
+	badFiles := map[string]int{
+		"testdata/keyfields/bad/bad.go":            4,
+		"testdata/locksafe/bad/service/service.go": 7,
+		"testdata/spanend/bad/bad.go":              5,
+		"testdata/codecreg/bad/bad.go":             2,
+		"testdata/noalloc/bad/bad.go":              2,
+	}
+	for file, want := range badFiles {
+		n, err := analysis.ParseWantFile(filepath.FromSlash(file))
+		if err != nil {
+			t.Errorf("%s: %v", file, err)
+			continue
+		}
+		if n != want {
+			t.Errorf("%s declares %d want expectations, expected %d", file, n, want)
+		}
+	}
+}
+
+// TestSuiteOrder pins the analyzer roster: adding an analyzer must be a
+// conscious act that also extends the corpora and the README table.
+func TestSuiteOrder(t *testing.T) {
+	want := []string{"keyfields", "locksafe", "spanend", "codecreg", "noalloc"}
+	got := analysis.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// RunCorpus is the analysistest analogue for this framework: it loads
+// the given package directories (testdata corpora, named explicitly
+// because Go tooling never wildcards into testdata), runs one analyzer,
+// and checks the findings against `// want "substring"` expectations.
+//
+// Every line carrying a want comment must produce at least one finding
+// whose message contains each quoted substring, and every finding must
+// be covered by a want — so corpora pin both the catches and the
+// non-catches of an analyzer.
+func RunCorpus(t *testing.T, a *Analyzer, dirs ...string) {
+	t.Helper()
+	pkgs, err := Load("", dirs)
+	if err != nil {
+		t.Fatalf("loading corpus %v: %v", dirs, err)
+	}
+	findings, err := RunPackages(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %v: %v", a.Name, dirs, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]string{}
+	for _, pkg := range pkgs {
+		if !pkg.Target {
+			continue
+		}
+		for _, file := range pkg.Syntax {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, m := range wantRE.FindAllStringSubmatch(c.Text[idx:], -1) {
+						wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], m[1])
+					}
+				}
+			}
+		}
+	}
+
+	matched := map[key]map[int]bool{}
+	for _, f := range findings {
+		k := key{f.Position.Filename, f.Position.Line}
+		expected := wants[k]
+		covered := false
+		for i, sub := range expected {
+			if strings.Contains(f.Message, sub) {
+				if matched[k] == nil {
+					matched[k] = map[int]bool{}
+				}
+				matched[k][i] = true
+				covered = true
+			}
+		}
+		if !covered {
+			t.Errorf("unexpected %s finding at %s:%d: %s", a.Name, k.file, k.line, f.Message)
+		}
+	}
+	var missing []string
+	for k, expected := range wants {
+		for i, sub := range expected {
+			if !matched[k][i] {
+				missing = append(missing, fmt.Sprintf("%s:%d: no %s finding containing %q", k.file, k.line, a.Name, sub))
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Error(m)
+	}
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// ParseWantFile is a sanity hook for the corpus runner's own tests: it
+// reports how many want expectations a source file declares.
+func ParseWantFile(path string) (int, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if idx := strings.Index(c.Text, "// want "); idx >= 0 {
+				n += len(wantRE.FindAllString(c.Text[idx:], -1))
+			}
+		}
+	}
+	return n, nil
+}

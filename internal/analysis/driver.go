@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Finding is a resolved diagnostic ready for printing: position
+// information extracted, suppressions applied.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+// Run loads the patterns and applies every analyzer to every matched
+// package, propagating exported facts along the import graph. It returns
+// the unsuppressed findings sorted by position.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(pkgs, analyzers)
+}
+
+// RunPackages applies the analyzers to already-loaded packages. Packages
+// must be in dependency order (Load guarantees it) for facts to flow.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	// facts[analyzer][importPath] is the fact set visible to dependents
+	// of importPath: facts exported by the package itself plus, already
+	// folded in, everything it imported. Missing entries (dependencies
+	// outside the load set) contribute nothing.
+	facts := map[string]map[string]map[string]bool{}
+	for _, a := range analyzers {
+		facts[a.Name] = map[string]map[string]bool{}
+	}
+
+	var diags []Diagnostic
+	fset := pkgs[0].Fset
+	for _, pkg := range pkgs {
+		keep := len(diags)
+		for _, a := range analyzers {
+			imported := map[string]bool{}
+			for _, dep := range pkg.Imports {
+				for f := range facts[a.Name][dep] {
+					imported[f] = true
+				}
+			}
+			pass := &Pass{
+				Analyzer:      a,
+				Fset:          pkg.Fset,
+				Files:         pkg.Syntax,
+				Pkg:           pkg.Types,
+				TypesInfo:     pkg.TypesInfo,
+				Dir:           pkg.Dir,
+				ImportPath:    pkg.ImportPath,
+				GoFiles:       pkg.GoFiles,
+				ImportedFacts: imported,
+				diags:         &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			if !pkg.Target {
+				// Dependency-only package: keep its facts, not its
+				// findings (mirrors go vet, which reports only on the
+				// packages named on the command line).
+				diags = diags[:keep]
+			}
+			visible := imported
+			for f := range pass.exported {
+				visible[f] = true
+			}
+			facts[a.Name][pkg.ImportPath] = visible
+		}
+	}
+
+	findings := resolve(fset, pkgs, diags)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Message < findings[j].Message
+	})
+	return findings, nil
+}
+
+// resolve turns raw diagnostics into findings, dropping ones suppressed
+// by a `//bp:lint-ok <analyzer>` comment on the same or preceding line.
+func resolve(fset *token.FileSet, pkgs []*Package, diags []Diagnostic) []Finding {
+	// suppressed["file:line"] holds the analyzer names (or "*") excused
+	// on that line.
+	suppressed := map[string][]string{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//bp:lint-ok")
+					if !ok {
+						continue
+					}
+					name := "*"
+					if fields := strings.Fields(rest); len(fields) > 0 {
+						name = fields[0]
+					}
+					p := fset.Position(c.Pos())
+					// A comment on its own line excuses the line below;
+					// a trailing comment excuses its own line. Recording
+					// both is harmless and avoids guessing which it is.
+					for _, line := range []int{p.Line, p.Line + 1} {
+						key := fmt.Sprintf("%s:%d", p.Filename, line)
+						suppressed[key] = append(suppressed[key], name)
+					}
+				}
+			}
+		}
+	}
+
+	var findings []Finding
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		skip := false
+		for _, name := range suppressed[key] {
+			if name == "*" || name == d.Analyzer {
+				skip = true
+			}
+		}
+		if skip {
+			continue
+		}
+		findings = append(findings, Finding{Position: pos, Analyzer: d.Analyzer, Message: d.Message})
+	}
+	return findings
+}
+
+// Print writes findings one per line in the conventional
+// file:line:col: analyzer: message format.
+func Print(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintln(w, f.String())
+	}
+}
+
+// Inspect walks every file in the pass with fn, in source order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

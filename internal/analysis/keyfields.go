@@ -1,0 +1,365 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// KeyFields enforces the PR 3 bug class: cache keys must cover every
+// configuration field, so adding a field to a config struct cannot leave
+// two different studies aliasing one cached artifact.
+//
+// Two rules:
+//
+//  1. A struct formatted with a %v-family verb into resultcache.NewKey
+//     (directly, or via fmt inside a function that returns a
+//     resultcache.Key) must be deterministic by value: no pointer, func,
+//     chan or interface fields anywhere in it — %#v renders pointers as
+//     addresses, which differ between runs and alias everything that
+//     shares an address. Likewise, a struct gob-encoded as key material
+//     must not carry unexported fields: gob silently skips them.
+//
+//  2. A function annotated `//bp:keyfields <Type> [-Field ...]` must
+//     mention every exported field of <Type> (minus the excluded ones)
+//     as a selector in its body. This is the hand-spelled-key contract:
+//     collectKey-style functions that key a pointer-bearing config field
+//     by field stay exhaustive when the config grows.
+var KeyFields = &Analyzer{
+	Name: "keyfields",
+	Doc:  "cache-key construction must cover every config field deterministically",
+	Run:  runKeyFields,
+}
+
+func runKeyFields(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkKeyAnnotations(pass, fn)
+			returnsKey := funcReturnsKey(pass, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pass.TypesInfo, call)
+				switch {
+				case callee != nil && callee.Name() == "NewKey" && pkgPathTail(funcPkgPath(callee), "resultcache"):
+					for _, arg := range call.Args {
+						if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+							checkSprintfKeyMaterial(pass, inner)
+						}
+					}
+				case returnsKey && isSprintf(callee):
+					// Any formatting inside a key-returning function is key
+					// material even when the Sprintf result flows through a
+					// local before reaching NewKey.
+					checkSprintfKeyMaterial(pass, call)
+				case returnsKey && callee != nil && callee.Name() == "Encode" && isGobEncoder(callee):
+					for _, arg := range call.Args {
+						checkGobKeyMaterial(pass, arg)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// funcReturnsKey reports whether fn's results include resultcache.Key.
+func funcReturnsKey(pass *Pass, fn *ast.FuncDecl) bool {
+	obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if obj == nil {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	for i := 0; i < sig.Results().Len(); i++ {
+		if n, _ := namedOrPtrTo(sig.Results().At(i).Type()); n != nil {
+			if n.Obj().Name() == "Key" && n.Obj().Pkg() != nil && pkgPathTail(n.Obj().Pkg().Path(), "resultcache") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isSprintf(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Sprintf", "Sprint", "Sprintln", "Appendf", "Fprintf":
+		return true
+	}
+	return false
+}
+
+// isGobEncoder reports whether fn is (*encoding/gob.Encoder).Encode.
+func isGobEncoder(fn *types.Func) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	n, _ := namedOrPtrTo(recv.Type())
+	return n != nil && n.Obj().Name() == "Encoder" && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "encoding/gob"
+}
+
+// checkSprintfKeyMaterial checks the struct-typed arguments of a
+// fmt.Sprintf-style call whose result becomes cache-key material.
+func checkSprintfKeyMaterial(pass *Pass, call *ast.CallExpr) {
+	callee := calleeFunc(pass.TypesInfo, call)
+	if !isSprintf(callee) {
+		return
+	}
+	// Only %v-family verbs splat whole structs into the key; arguments
+	// formatted with %d/%s/%q are scalars the programmer spelled out.
+	// Without a constant format string, conservatively check everything.
+	verbed := call.Args
+	if len(call.Args) > 0 {
+		if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			format := constant.StringVal(tv.Value)
+			verbed = verbArgs(format, call.Args[1:])
+		}
+	}
+	for _, arg := range verbed {
+		t := pass.TypesInfo.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if bad, path := nonValueField(t, nil); bad {
+			pass.Reportf(arg.Pos(), "struct %s formatted into a cache key has non-value field %s (pointers format as addresses; key it by value, field by field)", types.TypeString(t, types.RelativeTo(pass.Pkg)), path)
+		}
+	}
+}
+
+// verbArgs returns the args consumed by %v-family verbs of format.
+func verbArgs(format string, args []ast.Expr) []ast.Expr {
+	var out []ast.Expr
+	arg := 0
+	for i := 0; i < len(format) && arg < len(args); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags and width/precision.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case '%':
+			continue
+		case 'v':
+			out = append(out, args[arg])
+			arg++
+		default:
+			arg++
+		}
+	}
+	// Over-long arg lists (or non-verb forms) fall out naturally; fmt
+	// itself will scream %!EXTRA at runtime.
+	return out
+}
+
+// checkGobKeyMaterial flags gob-encoded key structs with unexported
+// fields (silently skipped by gob) or non-value fields.
+func checkGobKeyMaterial(pass *Pass, arg ast.Expr) {
+	t := pass.TypesInfo.TypeOf(arg)
+	if t == nil {
+		return
+	}
+	if s, ok := derefStruct(t); ok {
+		for i := 0; i < s.NumFields(); i++ {
+			if !s.Field(i).Exported() {
+				pass.Reportf(arg.Pos(), "struct %s gob-encoded into a cache key has unexported field %s, which gob silently omits from the key", types.TypeString(t, types.RelativeTo(pass.Pkg)), s.Field(i).Name())
+			}
+		}
+	}
+	if bad, path := nonValueField(t, nil); bad {
+		pass.Reportf(arg.Pos(), "struct %s gob-encoded into a cache key has non-value field %s", types.TypeString(t, types.RelativeTo(pass.Pkg)), path)
+	}
+}
+
+func derefStruct(t types.Type) (*types.Struct, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	s, ok := t.Underlying().(*types.Struct)
+	return s, ok
+}
+
+// nonValueField walks a type (through structs, arrays and slices, with a
+// depth guard against cycles) looking for a field whose formatting is not
+// a pure function of the value: pointers, funcs, chans, interfaces,
+// unsafe pointers. It returns the dotted path to the first offender.
+func nonValueField(t types.Type, seen []types.Type) (bool, string) {
+	if len(seen) > 16 {
+		return false, ""
+	}
+	for _, s := range seen {
+		if types.Identical(s, t) {
+			return false, ""
+		}
+	}
+	seen = append(seen, t)
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Signature, *types.Chan, *types.Interface:
+		return true, fmt.Sprintf("(%s)", t)
+	case *types.Slice:
+		return nonValueField(u.Elem(), seen)
+	case *types.Array:
+		return nonValueField(u.Elem(), seen)
+	case *types.Map:
+		if bad, path := nonValueField(u.Key(), seen); bad {
+			return true, path
+		}
+		return nonValueField(u.Elem(), seen)
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			return true, fmt.Sprintf("(%s)", t)
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if bad, path := nonValueField(u.Field(i).Type(), seen); bad {
+				return true, u.Field(i).Name() + dotPath(path)
+			}
+		}
+	}
+	return false, ""
+}
+
+// dotPath joins a nested offender path onto a field name.
+func dotPath(sub string) string {
+	if strings.HasPrefix(sub, "(") {
+		return " " + sub
+	}
+	return "." + sub
+}
+
+// checkKeyAnnotations enforces `//bp:keyfields <Type> [-Field ...]`.
+func checkKeyAnnotations(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Doc == nil {
+		return
+	}
+	for _, c := range fn.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//bp:keyfields")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			pass.Reportf(c.Pos(), "//bp:keyfields needs a type name, e.g. //bp:keyfields core.CollectConfig")
+			continue
+		}
+		excluded := map[string]bool{}
+		for _, f := range fields[1:] {
+			if name, ok := strings.CutPrefix(f, "-"); ok {
+				excluded[name] = true
+			}
+		}
+		target := lookupNamedType(pass, fields[0])
+		if target == nil {
+			pass.Reportf(c.Pos(), "//bp:keyfields: cannot resolve type %q", fields[0])
+			continue
+		}
+		st, ok := target.Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(c.Pos(), "//bp:keyfields: %s is not a struct type", fields[0])
+			continue
+		}
+		used := fieldsMentioned(pass, fn, target)
+		var missing []string
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() || excluded[f.Name()] || used[f.Name()] {
+				continue
+			}
+			missing = append(missing, f.Name())
+		}
+		if len(missing) > 0 {
+			pass.Reportf(fn.Name.Pos(), "%s is annotated //bp:keyfields %s but never reads field(s) %s — a new config field silently absent from the cache key aliases cached results", fn.Name.Name, fields[0], strings.Join(missing, ", "))
+		}
+	}
+}
+
+// lookupNamedType resolves "Type" (this package) or "pkg.Type" (an
+// imported package, matched by package name).
+func lookupNamedType(pass *Pass, name string) *types.Named {
+	scope := pass.Pkg.Scope()
+	typeName := name
+	if pkgName, tn, ok := strings.Cut(name, "."); ok {
+		typeName = tn
+		scope = nil
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Name() == pkgName {
+				scope = imp.Scope()
+				break
+			}
+		}
+		if scope == nil {
+			return nil
+		}
+	}
+	obj := scope.Lookup(typeName)
+	if obj == nil {
+		return nil
+	}
+	n, _ := obj.Type().(*types.Named)
+	return n
+}
+
+// fieldsMentioned collects the names of target's fields selected anywhere
+// in fn's body (method calls do not count as field coverage).
+func fieldsMentioned(pass *Pass, fn *ast.FuncDecl, target *types.Named) map[string]bool {
+	used := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		base := pass.TypesInfo.TypeOf(sel.X)
+		if base == nil {
+			return true
+		}
+		if n, _ := namedOrPtrTo(base); n != nil && n.Obj() == target.Obj() {
+			used[sel.Sel.Name] = true
+		}
+		return true
+	})
+	// A composite literal of the target type with explicit field keys
+	// also covers those fields (key structs built field-by-field).
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(lit)
+		if t == nil {
+			return true
+		}
+		if tn, _ := namedOrPtrTo(t); tn == nil || tn.Obj() != target.Obj() {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					used[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return used
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// A Package is one loaded, parsed and type-checked package, plus enough
+// of the `go list` record to reach its dependencies' export data.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string // absolute paths, non-test sources only
+	Imports    []string // direct dependencies' import paths
+	Deps       []string // transitive dependencies' import paths
+	Target     bool     // named by the load patterns (vs dependency-only)
+
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	// TypeError holds the first type-checking failure; analyzers still
+	// run on packages with partial type information.
+	TypeError error
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	Deps       []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+	Module     *struct{ GoVersion string }
+}
+
+// Load lists patterns with the go command (compiling export data for the
+// whole dependency closure), then parses and type-checks every matched
+// package against that export data. dir anchors pattern resolution, ""
+// meaning the current directory. Packages are returned in dependency
+// order: a package's (matched) dependencies precede it, which is what
+// lets fact-exporting analyzers run in a single forward sweep.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go %s: %v\n%s", strings.Join(args, " "), err, stderr.Bytes())
+	}
+
+	var listed []*listPackage
+	exportFile := map[string]string{}
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+		if lp.Export != "" {
+			exportFile[lp.ImportPath] = lp.Export
+		}
+	}
+
+	// One importer serves every package: export data is immutable and
+	// the resulting *types.Package graph must be shared so that, e.g.,
+	// sched's view of core.Collection is identical to service's.
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exportFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		// Standard-library deps contribute export data only. Non-standard
+		// dependencies (necessarily in-module: the module has no external
+		// requirements) are loaded too, so fact-exporting analyzers see
+		// registrations in packages the patterns did not name — but they
+		// are marked non-Target and the driver discards their findings.
+		if lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("analysis: %s uses cgo, which this loader does not support", lp.ImportPath)
+		}
+		pkg, err := typeCheck(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("analysis: no packages matched %v", patterns)
+	}
+	return pkgs, nil
+}
+
+// typeCheck parses and type-checks one listed package.
+func typeCheck(fset *token.FileSet, imp types.Importer, lp *listPackage) (*Package, error) {
+	pkg := &Package{
+		ImportPath: lp.ImportPath,
+		Name:       lp.Name,
+		Dir:        lp.Dir,
+		Imports:    lp.Imports,
+		Deps:       lp.Deps,
+		Target:     !lp.DepOnly,
+		Fset:       fset,
+	}
+	for _, f := range lp.GoFiles {
+		abs := f
+		if !strings.HasPrefix(abs, "/") {
+			abs = lp.Dir + "/" + f
+		}
+		pkg.GoFiles = append(pkg.GoFiles, abs)
+		syn, err := parser.ParseFile(fset, abs, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		pkg.Syntax = append(pkg.Syntax, syn)
+	}
+
+	goVersion := ""
+	if lp.Module != nil {
+		goVersion = "go" + lp.Module.GoVersion
+	}
+	conf := &types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Error: func(err error) {
+			if pkg.TypeError == nil {
+				pkg.TypeError = err
+			}
+		},
+	}
+	pkg.TypesInfo = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	// Type errors are collected, not fatal: analyzers run best-effort on
+	// partial information, exactly like go vet.
+	pkg.Types, _ = conf.Check(lp.ImportPath, fset, pkg.Syntax, pkg.TypesInfo)
+	return pkg, nil
+}

@@ -1,0 +1,469 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockSafe enforces the PR 2 hang class in the service layer: while a
+// function in internal/service or internal/sched holds a sync.Mutex or
+// sync.RWMutex, it must not block — no time.Sleep, no channel sends,
+// receives or default-less selects, no sync.WaitGroup.Wait, no net/http
+// round trips — and it must not call, directly or transitively through
+// same-receiver methods, anything that re-acquires the mutex it already
+// holds (sync mutexes are not reentrant; the re-acquire is a self-
+// deadlock that only fires when the scheduler interleaves just so).
+//
+// The cure is the snapshot-outside-lock idiom the PR 2 fixes adopted:
+// copy what you need under the lock, unlock, then block on the copy.
+// Deliberately non-blocking constructs stay legal: a select with a
+// default case never blocks and is not flagged.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "no blocking operations or mutex re-acquisition while holding service/sched mutexes",
+	Run:  runLockSafe,
+}
+
+func runLockSafe(pass *Pass) error {
+	if !pkgPathTail(pass.ImportPath, "service") && !pkgPathTail(pass.ImportPath, "sched") {
+		return nil
+	}
+	// Pre-pass: for every method in the package, the mutex field chains
+	// (relative to its receiver, like ".mu") it may acquire — directly,
+	// or via calls to other methods on the same receiver (fixpoint).
+	acquires := methodAcquisitions(pass)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ls := &lockScan{pass: pass, acquires: acquires, held: map[string]bool{}}
+			ls.stmts(fn.Body.List)
+		}
+	}
+	return nil
+}
+
+// lockScan walks one function's statements in source order, tracking the
+// set of held mutex paths ("s.mu", "j.mu", …) and flagging blocking
+// operations inside held regions. The scan is linear and syntactic: it
+// does not model branches that unlock conditionally, which the codebase
+// (deliberately) does not do.
+type lockScan struct {
+	pass     *Pass
+	acquires map[*types.Func]map[string]bool
+	held     map[string]bool
+}
+
+func (ls *lockScan) anyHeld() (string, bool) {
+	for p, h := range ls.held {
+		if h {
+			return p, true
+		}
+	}
+	return "", false
+}
+
+func (ls *lockScan) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		ls.stmt(s)
+	}
+}
+
+func (ls *lockScan) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		ls.expr(s.X)
+	case *ast.DeferStmt:
+		// defer x.mu.Unlock() keeps the lock held to the end of the
+		// function: everything after it is a held region. A deferred
+		// closure's body runs after the locked region and is scanned
+		// with a fresh lock state.
+		if path, kind := mutexOp(ls.pass, s.Call); kind == opUnlock {
+			_ = path // the lock stays held for the remainder; nothing to do
+			return
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			saved := ls.held
+			ls.held = map[string]bool{}
+			ls.stmts(lit.Body.List)
+			ls.held = saved
+			return
+		}
+		ls.expr(s.Call)
+	case *ast.GoStmt:
+		// A goroutine body runs concurrently, not under this lock.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			saved := ls.held
+			ls.held = map[string]bool{}
+			ls.stmts(lit.Body.List)
+			ls.held = saved
+			return
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			ls.expr(e)
+		}
+		for _, e := range s.Lhs {
+			ls.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						ls.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			ls.expr(e)
+		}
+	case *ast.SendStmt:
+		if path, held := ls.anyHeld(); held {
+			ls.pass.Reportf(s.Arrow, "channel send while holding %s (may block forever; snapshot under the lock, send after unlocking)", path)
+		}
+		ls.expr(s.Value)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init)
+		}
+		ls.expr(s.Cond)
+		ls.branch(s.Body.List)
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				ls.branch(e.List)
+			default:
+				ls.stmt(e)
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			ls.expr(s.Cond)
+		}
+		ls.branch(s.Body.List)
+	case *ast.RangeStmt:
+		ls.expr(s.X)
+		ls.branch(s.Body.List)
+	case *ast.BlockStmt:
+		ls.stmts(s.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			ls.expr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.branch(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.branch(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if path, held := ls.anyHeld(); held && !hasDefault {
+			ls.pass.Reportf(s.Select, "blocking select while holding %s (add a default case or move the select outside the lock)", path)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				ls.branch(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		ls.stmt(s.Stmt)
+	}
+}
+
+// branch scans a nested statement list on a copy of the held set, so a
+// conditional Lock/Unlock inside one branch does not leak into the code
+// after the statement. (A branch that unlocks and falls through makes
+// the post-branch state ambiguous; the copy keeps the scan conservative
+// in the direction of fewer false positives.)
+func (ls *lockScan) branch(list []ast.Stmt) {
+	saved := ls.held
+	ls.held = map[string]bool{}
+	for k, v := range saved {
+		ls.held[k] = v
+	}
+	ls.stmts(list)
+	ls.held = saved
+}
+
+func (ls *lockScan) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closure bodies run when called, not where written; calls of
+			// the closure are opaque to this scan.
+			return false
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				if path, held := ls.anyHeld(); held {
+					ls.pass.Reportf(n.OpPos, "channel receive while holding %s (may block forever; snapshot under the lock, receive after unlocking)", path)
+				}
+			}
+		case *ast.CallExpr:
+			ls.call(n)
+		}
+		return true
+	})
+}
+
+// call handles Lock/Unlock transitions and flags blocking callees.
+func (ls *lockScan) call(call *ast.CallExpr) {
+	if path, kind := mutexOp(ls.pass, call); kind != opNone {
+		switch kind {
+		case opLock:
+			if ls.held[path] {
+				ls.pass.Reportf(call.Pos(), "%s locked while already held (sync mutexes are not reentrant)", path)
+			}
+			ls.held[path] = true
+		case opUnlock:
+			delete(ls.held, path)
+		}
+		return
+	}
+	path, held := ls.anyHeld()
+	if !held {
+		return
+	}
+	fn := calleeFunc(ls.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	switch {
+	case fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+		ls.pass.Reportf(call.Pos(), "time.Sleep while holding %s", path)
+	case isMethodOn(fn, "sync", "WaitGroup", "Wait"):
+		ls.pass.Reportf(call.Pos(), "WaitGroup.Wait while holding %s", path)
+	case isNetworkCall(fn):
+		ls.pass.Reportf(call.Pos(), "network I/O (%s.%s) while holding %s", fn.Pkg().Name(), fn.Name(), path)
+	default:
+		ls.reacquire(call, fn)
+	}
+}
+
+// reacquire flags calls to same-package methods that (transitively)
+// acquire a mutex the caller already holds on the same receiver.
+func (ls *lockScan) reacquire(call *ast.CallExpr, fn *types.Func) {
+	chains := ls.acquires[fn]
+	if len(chains) == 0 {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	base, ok := exprPath(sel.X)
+	if !ok {
+		return
+	}
+	for chain := range chains {
+		if ls.held[base+chain] {
+			ls.pass.Reportf(call.Pos(), "call to %s re-acquires %s, which is already held (self-deadlock)", fn.Name(), base+chain)
+		}
+	}
+}
+
+type mutexOpKind int
+
+const (
+	opNone mutexOpKind = iota
+	opLock
+	opUnlock
+)
+
+// mutexOp recognises x.mu.Lock()/RLock()/Unlock()/RUnlock() calls on
+// sync.Mutex/RWMutex values and returns the flattened path of the mutex
+// expression ("s.mu"). Calls on unpathable expressions (map lookups,
+// function results) return opNone — they cannot be tracked.
+func mutexOp(pass *Pass, call *ast.CallExpr) (string, mutexOpKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	var kind mutexOpKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return "", opNone
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || !isSyncMutexMethod(fn) {
+		return "", opNone
+	}
+	path, ok := exprPath(sel.X)
+	if !ok {
+		return "", opNone
+	}
+	return path, kind
+}
+
+func isSyncMutexMethod(fn *types.Func) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	n, _ := namedOrPtrTo(recv.Type())
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex"
+}
+
+func isMethodOn(fn *types.Func, pkg, typ, name string) bool {
+	if fn.Name() != name {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	n, _ := namedOrPtrTo(recv.Type())
+	return n != nil && n.Obj().Name() == typ && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == pkg
+}
+
+// isNetworkCall reports whether fn performs network I/O: any function or
+// method from net or net/http (Dial, Do, Get, ListenAndServe, …).
+func isNetworkCall(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "net" || pkg.Path() == "net/http"
+}
+
+// exprPath flattens a selector chain of identifiers ("e.workers",
+// "s.jobs") into a dotted string; non-ident bases fail.
+func exprPath(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := exprPath(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+// methodAcquisitions computes, per function in the package, the set of
+// receiver-relative mutex chains (".mu") it may acquire — including via
+// calls to other methods on the same receiver, to a small fixed depth.
+func methodAcquisitions(pass *Pass) map[*types.Func]map[string]bool {
+	type funcInfo struct {
+		decl     *ast.FuncDecl
+		recvName string
+	}
+	infos := map[*types.Func]funcInfo{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			infos[obj] = funcInfo{decl: fn, recvName: fn.Recv.List[0].Names[0].Name}
+		}
+	}
+
+	acq := map[*types.Func]map[string]bool{}
+	// Direct acquisitions: recv.<chain>.Lock() with balanced bookkeeping
+	// ignored — any Lock in the body counts, because a helper that locks
+	// and unlocks still deadlocks a caller that already holds the mutex.
+	for obj, info := range infos {
+		set := map[string]bool{}
+		ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, kind := mutexOp(pass, call); kind == opLock {
+				if rest, ok := cutReceiver(path, info.recvName); ok {
+					set[rest] = true
+				}
+			}
+			return true
+		})
+		acq[obj] = set
+	}
+	// Propagate through same-receiver method calls (bounded fixpoint).
+	for iter := 0; iter < 4; iter++ {
+		changed := false
+		for obj, info := range infos {
+			ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pass.TypesInfo, call)
+				if callee == nil || callee == obj {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); !ok || id.Name != info.recvName {
+					return true
+				}
+				for chain := range acq[callee] {
+					if !acq[obj][chain] {
+						acq[obj][chain] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+		if !changed {
+			break
+		}
+	}
+	return acq
+}
+
+// cutReceiver strips the receiver identifier off a mutex path, returning
+// the receiver-relative chain (".mu").
+func cutReceiver(path, recv string) (string, bool) {
+	if len(path) > len(recv) && path[:len(recv)] == recv && path[len(recv)] == '.' {
+		return path[len(recv):], true
+	}
+	return "", false
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// NoAlloc turns PR 4's benchmark-only zero-allocation invariant into a
+// static gate. A function annotated `//bp:noalloc` in its doc comment
+// must contain no heap allocation according to the compiler's own escape
+// analysis: the analyzer rebuilds the package with `go build
+// -gcflags=-m=1` and reports every "escapes to heap" / "moved to heap"
+// diagnostic whose position falls inside an annotated function's body.
+//
+// The contract is per-call-site cost, so allocations in the cold setup
+// helpers a hot function calls (growTable, ensureRows) are fine — they
+// live in separate, unannotated functions and amortise to zero. What the
+// gate catches is the regression the benchmarks only catch when someone
+// remembers to run them: a closure capture, an interface conversion or a
+// fresh slice sneaking into StackDist.Access, collector.add or
+// Builder.BuildSparseInto, which multiplies by millions of points per
+// study. A deliberate cold-path allocation inside an annotated function
+// can be excused with `//bp:lint-ok noalloc <why>` on its line.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "//bp:noalloc functions must be allocation-free per gc escape analysis",
+	Run:  runNoAlloc,
+}
+
+// annotatedFunc is one //bp:noalloc function's source extent.
+type annotatedFunc struct {
+	name      string
+	file      string // base name
+	from, to  int    // body line range, inclusive
+	tokenFile *token.File
+}
+
+func runNoAlloc(pass *Pass) error {
+	var funcs []annotatedFunc
+	for i, file := range pass.Files {
+		tf := pass.Fset.File(file.Pos())
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil || fn.Body == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				if c.Text == "//bp:noalloc" || strings.HasPrefix(c.Text, "//bp:noalloc ") {
+					funcs = append(funcs, annotatedFunc{
+						name:      fn.Name.Name,
+						file:      filepath.Base(pass.GoFiles[i]),
+						from:      pass.Fset.Position(fn.Body.Pos()).Line,
+						to:        pass.Fset.Position(fn.Body.End()).Line,
+						tokenFile: tf,
+					})
+				}
+			}
+		}
+	}
+	if len(funcs) == 0 {
+		return nil
+	}
+
+	// Rebuild just this package with escape-analysis diagnostics. The
+	// build cache replays compiler output, so a clean re-run is cheap.
+	cmd := exec.Command("go", "build", "-gcflags=-m=1", ".")
+	cmd.Dir = pass.Dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("noalloc: go build -gcflags=-m %s: %v\n%s", pass.ImportPath, err, out.Bytes())
+	}
+
+	for line := range strings.Lines(out.String()) {
+		file, lineNo, col, msg, ok := parseDiag(line)
+		if !ok {
+			continue
+		}
+		if !strings.HasSuffix(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		for _, fn := range funcs {
+			if file != fn.file || lineNo < fn.from || lineNo > fn.to {
+				continue
+			}
+			pos := fn.tokenFile.LineStart(lineNo)
+			// Column refinement is best-effort; LineStart is close enough
+			// for a clickable position when the offset math fails.
+			if col > 1 {
+				if p := pos + token.Pos(col-1); fn.tokenFile.Base() <= int(p) && int(p) < fn.tokenFile.Base()+fn.tokenFile.Size() {
+					pos = p
+				}
+			}
+			pass.Reportf(pos, "%s is //bp:noalloc but the compiler reports %q here — this allocation runs on the zero-alloc hot path", fn.name, strings.TrimSpace(msg))
+			break
+		}
+	}
+	return nil
+}
+
+// parseDiag splits a compiler diagnostic "dir/file.go:12:7: message".
+func parseDiag(line string) (file string, lineNo, col int, msg string, ok bool) {
+	line = strings.TrimSpace(line)
+	parts := strings.SplitN(line, ":", 4)
+	if len(parts) != 4 || !strings.HasSuffix(parts[0], ".go") {
+		return "", 0, 0, "", false
+	}
+	l, err1 := strconv.Atoi(parts[1])
+	c, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil {
+		return "", 0, 0, "", false
+	}
+	return filepath.Base(parts[0]), l, c, strings.TrimSpace(parts[3]), true
+}

@@ -1,0 +1,468 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanEnd enforces the observability layer's two quiet corruption modes:
+//
+//  1. Every obs span created with Root(...)/Child(...) must reach End()
+//     on every return path (or be handed off: returned, stored, attached
+//     to a context). A span that is sometimes not ended simply vanishes
+//     from the trace — the study looks fine, the evidence is gone.
+//     Ending a nil span is safe (End is nil-tolerant), so the idiomatic
+//     `if sp != nil { sp.End() }` guard counts on both branches.
+//
+//  2. Metric vec labels must be constant-cardinality. Label values built
+//     from strconv/fmt of arbitrary numbers, error strings or numeric
+//     conversions mint a new time series per distinct value and grow
+//     /metrics without bound; label by a bounded enum instead and put
+//     the unbounded detail in a span attribute.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "obs spans end on all paths; metric vec labels stay constant-cardinality",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkSpans(pass, fn)
+		}
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			checkLabelCardinality(pass, call)
+		}
+		return true
+	})
+	return nil
+}
+
+// isSpanCreation reports whether call creates a span this function owns:
+// a Root or Child method call returning *obs.Span.
+func isSpanCreation(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || (fn.Name() != "Child" && fn.Name() != "Root") {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(call)
+	n, _ := namedOrPtrTo(t)
+	return n != nil && n.Obj().Name() == "Span" && n.Obj().Pkg() != nil && pkgPathTail(n.Obj().Pkg().Path(), "obs")
+}
+
+func checkSpans(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			// A span created and immediately discarded can never be ended.
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isSpanCreation(pass, call) {
+				pass.Reportf(call.Pos(), "span created and discarded: it can never be ended and will be missing from the trace")
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok || !isSpanCreation(pass, call) {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			if obj == nil {
+				return true
+			}
+			checkSpanVar(pass, fn, n, id.Name, obj)
+		}
+		return true
+	})
+}
+
+// checkSpanVar verifies one span-holding variable: handed off, deferred,
+// or explicitly ended on every path after the creation statement.
+func checkSpanVar(pass *Pass, fn *ast.FuncDecl, created ast.Stmt, name string, obj types.Object) {
+	if spanEscapes(pass, fn, obj) {
+		return
+	}
+	if spanDeferredEnd(pass, fn, obj) {
+		return
+	}
+	sc := &spanCheck{pass: pass, obj: obj, createdEnd: created.End()}
+	miss, endedAfter := sc.walk(fn.Body.List, false)
+	if miss || (!endedAfter && !alwaysTerminates(fn.Body.List)) {
+		pass.Reportf(created.Pos(), "span %s may not be ended on every return path (defer %s.End() right after creating it, or End it before each return)", name, name)
+	}
+}
+
+// alwaysTerminates reports whether a statement list cannot fall through
+// its end (its last statement returns, panics, or loops forever on every
+// branch) — the light version of the spec's "terminating statements".
+func alwaysTerminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	return stmtTerminates(list[len(list)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.ForStmt:
+		return s.Cond == nil && !hasBreak(s.Body)
+	case *ast.BlockStmt:
+		return alwaysTerminates(s.List)
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return alwaysTerminates(s.Body.List) && stmtTerminates(s.Else)
+	case *ast.LabeledStmt:
+		return stmtTerminates(s.Stmt)
+	}
+	return false
+}
+
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok.String() == "break" {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false // break inside binds to the inner statement
+		}
+		return !found
+	})
+	return found
+}
+
+// spanEscapes reports whether the span is handed off: returned, assigned
+// elsewhere, stored in a composite, or passed as a call argument (e.g.
+// obs.ContextWithSpan). Receiver use — sp.End(), sp.SetAttr(…), creating
+// a child — is not a handoff.
+func spanEscapes(pass *Pass, fn *ast.FuncDecl, obj types.Object) bool {
+	escapes := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if usesObj(pass, arg, obj) {
+					escapes = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if usesObj(pass, r, obj) {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Re-assignment of the variable itself is fine; storing the
+			// span somewhere (field, map, other variable) is a handoff.
+			for _, rhs := range n.Rhs {
+				if id, ok := ast.Unparen(rhs).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					escapes = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if usesObj(pass, e, obj) {
+					escapes = true
+				}
+			}
+		}
+		return !escapes
+	})
+	return escapes
+}
+
+// usesObj reports whether expr is exactly a reference to obj.
+func usesObj(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(id) == obj
+}
+
+// spanDeferredEnd reports whether the function defers an End of the span:
+// `defer sp.End()` or a deferred closure whose body (possibly behind a
+// nil guard) calls sp.End().
+func spanDeferredEnd(pass *Pass, fn *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return !found
+		}
+		if isEndCallOn(pass, d.Call, obj) {
+			found = true
+			return false
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && isEndCallOn(pass, call, obj) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+func isEndCallOn(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	return usesObj(pass, sel.X, obj)
+}
+
+// spanCheck walks statements answering: can control leave this function
+// with the span neither ended nor known nil?
+type spanCheck struct {
+	pass *Pass
+	obj  types.Object
+	// createdEnd is the source end of the creation statement; returns
+	// before it exit paths on which the span never existed.
+	createdEnd token.Pos
+}
+
+// walk returns (missed, endedAfter): missed is true if any path within
+// list returned (or panicked out — ignored) without End; endedAfter is
+// true if the fallthrough path has definitely called End.
+func (sc *spanCheck) walk(list []ast.Stmt, ended bool) (bool, bool) {
+	missed := false
+	for _, s := range list {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isEndCallOn(sc.pass, call, sc.obj) {
+				ended = true
+			}
+		case *ast.ReturnStmt:
+			if !ended && s.Pos() >= sc.createdEnd {
+				missed = true
+			}
+			return missed, ended
+		case *ast.IfStmt:
+			// The canonical nil guard: `if sp != nil { sp.End() }` ends
+			// the span on the only branch where it exists.
+			if sc.isNilGuard(s) {
+				thenMiss, thenEnd := sc.walk(s.Body.List, ended)
+				if thenMiss {
+					missed = true
+				}
+				if thenEnd || sc.bodyEnds(s.Body.List) {
+					ended = true
+				}
+				continue
+			}
+			thenMiss, thenEnd := sc.walk(s.Body.List, ended)
+			elseEnd := ended
+			elseMiss := false
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseMiss, elseEnd = sc.walk(e.List, ended)
+			case *ast.IfStmt:
+				elseMiss, elseEnd = sc.walk([]ast.Stmt{e}, ended)
+			case nil:
+				// no else: fallthrough keeps prior state
+			}
+			if thenMiss || elseMiss {
+				missed = true
+			}
+			// After the if, End is guaranteed only if both branches
+			// guarantee it (or one branch never falls through — ignored;
+			// conservative towards reporting).
+			ended = thenEnd && elseEnd
+		case *ast.BlockStmt:
+			m, e := sc.walk(s.List, ended)
+			if m {
+				missed = true
+			}
+			ended = e
+		case *ast.ForStmt:
+			// Loop bodies may run zero times: an End inside does not
+			// guarantee anything, but a return inside without End does.
+			m, _ := sc.walk(s.Body.List, ended)
+			if m {
+				missed = true
+			}
+		case *ast.RangeStmt:
+			m, _ := sc.walk(s.Body.List, ended)
+			if m {
+				missed = true
+			}
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			var clauses []ast.Stmt
+			switch sw := s.(type) {
+			case *ast.SwitchStmt:
+				clauses = sw.Body.List
+			case *ast.TypeSwitchStmt:
+				clauses = sw.Body.List
+			case *ast.SelectStmt:
+				clauses = sw.Body.List
+			}
+			allEnd := true
+			sawDefault := false
+			for _, c := range clauses {
+				var body []ast.Stmt
+				switch cc := c.(type) {
+				case *ast.CaseClause:
+					body = cc.Body
+					if cc.List == nil {
+						sawDefault = true
+					}
+				case *ast.CommClause:
+					body = cc.Body
+					if cc.Comm == nil {
+						sawDefault = true
+					}
+				}
+				m, e := sc.walk(body, ended)
+				if m {
+					missed = true
+				}
+				if !e {
+					allEnd = false
+				}
+			}
+			if allEnd && sawDefault && len(clauses) > 0 {
+				ended = true
+			}
+		case *ast.DeferStmt:
+			if isEndCallOn(sc.pass, s.Call, sc.obj) {
+				ended = true
+			}
+		case *ast.LabeledStmt:
+			m, e := sc.walk([]ast.Stmt{s.Stmt}, ended)
+			if m {
+				missed = true
+			}
+			ended = e
+		}
+	}
+	// Falling off the end of a statement list is not itself an exit; the
+	// caller decides. For the function body top level, falling off the
+	// end IS an exit — handled by the caller checking endedAfter.
+	return missed, ended
+}
+
+// isNilGuard reports whether s is `if <span> != nil { ... }` (no else).
+func (sc *spanCheck) isNilGuard(s *ast.IfStmt) bool {
+	if s.Else != nil {
+		return false
+	}
+	be, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || be.Op.String() != "!=" {
+		return false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (usesObj(sc.pass, be.X, sc.obj) && isNil(be.Y)) || (usesObj(sc.pass, be.Y, sc.obj) && isNil(be.X))
+}
+
+// bodyEnds reports whether a statement list contains a direct End call.
+func (sc *spanCheck) bodyEnds(list []ast.Stmt) bool {
+	for _, s := range list {
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok && isEndCallOn(sc.pass, call, sc.obj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkLabelCardinality flags unbounded label values in
+// (Counter|Gauge|Histogram)Vec.With(...) calls.
+func checkLabelCardinality(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "With" {
+		return
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return
+	}
+	n, _ := namedOrPtrTo(recv.Type())
+	if n == nil || n.Obj().Pkg() == nil || !pkgPathTail(n.Obj().Pkg().Path(), "obs") {
+		return
+	}
+	switch n.Obj().Name() {
+	case "CounterVec", "GaugeVec", "HistogramVec":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if reason := unboundedLabel(pass, arg); reason != "" {
+			pass.Reportf(arg.Pos(), "metric label value %s: one time series is minted per distinct value, growing /metrics without bound — label by a bounded enum and put the detail in a span attribute", reason)
+		}
+	}
+}
+
+// unboundedLabel reports why an expression is an unbounded label value,
+// or "" if it looks bounded.
+func unboundedLabel(pass *Pass, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		// String concatenation is unbounded if either side is.
+		if r := unboundedLabel(pass, e.X); r != "" {
+			return r
+		}
+		return unboundedLabel(pass, e.Y)
+	case *ast.CallExpr:
+		fn := calleeFunc(pass.TypesInfo, e)
+		if fn == nil {
+			// Conversions: string(x) where x is numeric mints a rune
+			// string per value (and was probably meant as Itoa anyway).
+			if len(e.Args) == 1 {
+				if t := pass.TypesInfo.TypeOf(e.Fun); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						if at := pass.TypesInfo.TypeOf(e.Args[0]); at != nil {
+							if ab, ok := at.Underlying().(*types.Basic); ok && ab.Info()&types.IsNumeric != 0 {
+								return "converts a number to string"
+							}
+						}
+					}
+				}
+			}
+			return ""
+		}
+		pkg := funcPkgPath(fn)
+		switch {
+		case pkg == "strconv":
+			return "is built with strconv." + fn.Name()
+		case pkg == "fmt" && (fn.Name() == "Sprintf" || fn.Name() == "Sprint" || fn.Name() == "Sprintln"):
+			return "is built with fmt." + fn.Name()
+		case fn.Name() == "Error" && isErrorMethod(fn):
+			return "is an error string"
+		}
+	}
+	return ""
+}
+
+func isErrorMethod(fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	return sig.Recv() != nil && sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+		types.Identical(sig.Results().At(0).Type(), types.Universe.Lookup("string").Type())
+}

@@ -1,0 +1,20 @@
+// Package bad is the codecreg violation corpus: concrete types reaching
+// Encode with no registration anywhere in the import graph.
+package bad
+
+import "barrierpoint/internal/analysis/testdata/codecreg/cachestore"
+
+// Blob never gets a codec.
+type Blob struct {
+	Bytes []byte
+}
+
+func Spill(b Blob) error {
+	_, _, err := cachestore.Encode(b) // want "no codec registered for Blob"
+	return err
+}
+
+func SpillPtr(b *Blob) error {
+	_, _, err := cachestore.Encode(b) // want "no codec registered for *Blob"
+	return err
+}

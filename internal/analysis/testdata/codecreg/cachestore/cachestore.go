@@ -1,0 +1,31 @@
+// Package cachestore is a corpus stand-in for the real
+// internal/cachestore codec registry, matched by import-path tail.
+package cachestore
+
+import "reflect"
+
+// Codec serialises one concrete type.
+type Codec struct {
+	Name string
+	Type reflect.Type
+}
+
+var codecs []Codec
+
+// Register installs a codec.
+func Register(c Codec) { codecs = append(codecs, c) }
+
+// RegisterGob installs a gob-backed codec for T.
+func RegisterGob[T any](name string) {
+	Register(Codec{Name: name, Type: reflect.TypeFor[T]()})
+}
+
+// Encode serialises v with its registered codec.
+func Encode(v any) (name string, data []byte, err error) {
+	return "", nil, nil
+}
+
+// Decode reverses Encode.
+func Decode(name string, data []byte) (any, error) {
+	return nil, nil
+}

@@ -1,0 +1,15 @@
+// Package deps registers a codec for its own type from init, proving
+// the registration fact flows across package boundaries to dependents.
+package deps
+
+import "barrierpoint/internal/analysis/testdata/codecreg/cachestore"
+
+// Matrix is a payload type whose codec is registered below.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func init() {
+	cachestore.RegisterGob[Matrix]("deps.matrix")
+}

@@ -1,0 +1,47 @@
+// Package good is the codecreg clean corpus: local init registration,
+// registration inherited from a dependency, and the out-of-scope cases.
+package good
+
+import (
+	"reflect"
+
+	"barrierpoint/internal/analysis/testdata/codecreg/cachestore"
+	"barrierpoint/internal/analysis/testdata/codecreg/deps"
+)
+
+// Report is registered locally, via the explicit Register form.
+type Report struct {
+	Title string
+}
+
+// Summary is registered locally via RegisterGob.
+type Summary struct {
+	Count int
+}
+
+func init() {
+	cachestore.RegisterGob[Summary]("good.summary")
+	cachestore.Register(cachestore.Codec{Name: "good.report", Type: reflect.TypeFor[Report]()})
+}
+
+func SpillLocal(r Report, s Summary) error {
+	if _, _, err := cachestore.Encode(r); err != nil {
+		return err
+	}
+	_, _, err := cachestore.Encode(s)
+	return err
+}
+
+// SpillImported encodes a type whose registration lives in the deps
+// package: the fact must flow along the import edge.
+func SpillImported(m deps.Matrix) error {
+	_, _, err := cachestore.Encode(m)
+	return err
+}
+
+// SpillOpaque passes an interface value; that is outside the static
+// horizon and deferred to the runtime check.
+func SpillOpaque(v any) error {
+	_, _, err := cachestore.Encode(v)
+	return err
+}

@@ -1,0 +1,59 @@
+// Package bad is the keyfields violation corpus: every line marked
+// `want` reproduces the PR 3 bug class (a cache key that silently fails
+// to cover its config).
+package bad
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"barrierpoint/internal/analysis/testdata/keyfields/resultcache"
+)
+
+type machine struct {
+	Name string
+	Tags []string
+}
+
+// Config carries a pointer field, so %#v renders an address into the key.
+type Config struct {
+	Threads int
+	Machine *machine
+}
+
+// ValueConfig is pure value material; keys over it are checked only for
+// field coverage.
+type ValueConfig struct {
+	Threads int
+	Reps    int
+	Seed    int64
+}
+
+func DirectKey(cfg Config) resultcache.Key {
+	return resultcache.NewKey("collect", fmt.Sprintf("%#v", cfg)) // want "non-value field Machine"
+}
+
+func IndirectKey(cfg Config) resultcache.Key {
+	material := fmt.Sprintf("v1|%v", cfg) // want "non-value field Machine"
+	return resultcache.NewKey(material)
+}
+
+type gobKey struct {
+	Threads int
+	seed    int64
+}
+
+func GobKey(k gobKey) resultcache.Key {
+	var buf bytes.Buffer
+	_ = gob.NewEncoder(&buf).Encode(k) // want "unexported field seed"
+	return resultcache.NewKey(buf.String())
+}
+
+// PartialKey hand-spells the key but forgot two fields; the annotation
+// is the contract that makes that a finding instead of an aliasing bug.
+//
+//bp:keyfields ValueConfig
+func PartialKey(cfg ValueConfig) resultcache.Key { // want "never reads field(s) Reps, Seed"
+	return resultcache.NewKey(fmt.Sprintf("threads=%d", cfg.Threads))
+}

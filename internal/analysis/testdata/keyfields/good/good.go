@@ -1,0 +1,49 @@
+// Package good is the keyfields clean corpus: the idioms the real tree
+// uses, none of which may be flagged.
+package good
+
+import (
+	"fmt"
+
+	"barrierpoint/internal/analysis/testdata/keyfields/resultcache"
+)
+
+type machine struct {
+	Name string
+}
+
+type Config struct {
+	Threads int
+	Reps    int
+	Machine *machine
+}
+
+// CollectKey spells the config out field by field because Machine is a
+// pointer — the collectKey idiom from internal/sched, kept exhaustive by
+// the annotation.
+//
+//bp:keyfields Config
+func CollectKey(cfg Config) resultcache.Key {
+	m := ""
+	if cfg.Machine != nil {
+		m = cfg.Machine.Name
+	}
+	return resultcache.NewKey("collect",
+		fmt.Sprintf("threads=%d reps=%d", cfg.Threads, cfg.Reps), m)
+}
+
+type flat struct {
+	Threads int
+	Variant string
+}
+
+// FlatKey may splat the whole struct: every field is value material.
+func FlatKey(cfg flat) resultcache.Key {
+	return resultcache.NewKey(fmt.Sprintf("%#v", cfg))
+}
+
+// Labelled formats a pointer-bearing struct, but not into key material —
+// plain logging strings are out of scope.
+func Labelled(cfg Config) string {
+	return fmt.Sprintf("%+v", cfg)
+}

@@ -1,0 +1,15 @@
+// Package resultcache is a corpus stand-in for the real
+// internal/resultcache: the keyfields analyzer matches it by import-path
+// tail, so the corpora can model key construction without importing the
+// real store.
+package resultcache
+
+import "strings"
+
+// Key is a content-addressed cache key.
+type Key string
+
+// NewKey derives a key from its parts.
+func NewKey(parts ...string) Key {
+	return Key(strings.Join(parts, "|"))
+}

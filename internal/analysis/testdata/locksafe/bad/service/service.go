@@ -1,0 +1,67 @@
+// Package service is the locksafe violation corpus (the analyzer scopes
+// itself to packages whose import path ends in service or sched): every
+// `want` line is a PR 2-class hang waiting for the right interleaving.
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+type Server struct {
+	mu    sync.Mutex
+	queue chan int
+	n     int
+}
+
+func (s *Server) SleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep while holding"
+	s.mu.Unlock()
+}
+
+func (s *Server) SendUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queue <- v // want "channel send while holding"
+}
+
+func (s *Server) ReceiveUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.queue // want "channel receive while holding"
+}
+
+func (s *Server) BlockingSelect(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "blocking select while holding"
+	case <-done:
+	}
+}
+
+func (s *Server) DoubleLock() {
+	s.mu.Lock()
+	s.mu.Lock() // want "locked while already held"
+	s.n++
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *Server) bump() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func (s *Server) Reacquire() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bump() // want "re-acquires"
+}
+
+func (s *Server) WaitUnderLock(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want "WaitGroup.Wait while holding"
+}

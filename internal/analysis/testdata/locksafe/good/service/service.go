@@ -1,0 +1,61 @@
+// Package service is the locksafe clean corpus: the snapshot-outside-
+// lock and non-blocking idioms the PR 2 fixes adopted, none of which may
+// be flagged.
+package service
+
+import "sync"
+
+type Worker struct {
+	mu      sync.Mutex
+	pending []int
+	queue   chan int
+}
+
+// Flush copies under the mutex and blocks only after unlocking.
+func (w *Worker) Flush() {
+	w.mu.Lock()
+	batch := make([]int, len(w.pending))
+	copy(batch, w.pending)
+	w.pending = w.pending[:0]
+	w.mu.Unlock()
+	for _, v := range batch {
+		w.queue <- v
+	}
+}
+
+// TryEnqueue holds the lock across a select, which is fine: the default
+// case means it can never block.
+func (w *Worker) TryEnqueue(v int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	select {
+	case w.queue <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// Rebalance locks, computes, unlocks, then re-locks; sequential acquire/
+// release of the same mutex is not a re-acquisition.
+func (w *Worker) Rebalance() {
+	w.mu.Lock()
+	n := len(w.pending)
+	w.mu.Unlock()
+	if n == 0 {
+		return
+	}
+	w.mu.Lock()
+	w.pending = w.pending[:0]
+	w.mu.Unlock()
+}
+
+// Spawn starts a goroutine under the lock; its body runs concurrently,
+// not inside the locked region.
+func (w *Worker) Spawn() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	go func() {
+		w.queue <- 0
+	}()
+}

@@ -1,0 +1,23 @@
+// Package bad is the noalloc violation corpus: annotated hot functions
+// whose values the compiler's escape analysis sends to the heap.
+package bad
+
+// Sum returns a pointer to its accumulator, forcing it off the stack —
+// the classic escape a benchmark only catches when someone runs it.
+//
+//bp:noalloc
+func Sum(xs []int) *int {
+	total := 0 // want "moved to heap"
+	for _, x := range xs {
+		total += x
+	}
+	return &total
+}
+
+// Box converts its argument to an interface, which heap-allocates the
+// boxed word on every call.
+//
+//bp:noalloc
+func Box(x int) any {
+	return x // want "escapes to heap"
+}

@@ -1,0 +1,44 @@
+// Package bad is the spanend violation corpus: spans that vanish from
+// the trace, and labels that mint unbounded time series.
+package bad
+
+import (
+	"errors"
+	"strconv"
+
+	"barrierpoint/internal/analysis/testdata/spanend/obs"
+)
+
+var errFailed = errors.New("failed")
+
+func Discarded(jt *obs.JobTrace) {
+	jt.Root("study") // want "span created and discarded"
+}
+
+func MissingOnError(jt *obs.JobTrace, fail bool) error {
+	sp := jt.Root("collect") // want "may not be ended on every return path"
+	if fail {
+		return errFailed
+	}
+	sp.End()
+	return nil
+}
+
+func NeverEnded(jt *obs.JobTrace) {
+	sp := jt.Root("unit") // want "may not be ended on every return path"
+	sp.SetAttr("k", "v")
+}
+
+func CountByID(v *obs.CounterVec, id int) {
+	v.With(strconv.Itoa(id)).Inc() // want "metric label value"
+}
+
+func CountByError(v *obs.CounterVec, err error) {
+	v.With(err.Error()).Inc() // want "metric label value"
+}
+
+// Suppressed shows the escape hatch: a human judged this site safe, so
+// the runner must see no finding here.
+func Suppressed(jt *obs.JobTrace) {
+	jt.Root("fire-and-forget") //bp:lint-ok spanend tracer GCs unfinished roots here
+}

@@ -1,0 +1,51 @@
+// Package good is the spanend clean corpus: the span-handling idioms the
+// real tree uses, none of which may be flagged.
+package good
+
+import (
+	"errors"
+
+	"barrierpoint/internal/analysis/testdata/spanend/obs"
+)
+
+var errFailed = errors.New("failed")
+
+// Deferred is the canonical shape: defer End right after creation.
+func Deferred(jt *obs.JobTrace) error {
+	sp := jt.Root("collect")
+	defer sp.End()
+	return errFailed
+}
+
+// NilGuarded ends through the `if sp != nil` idiom on both paths; Child
+// on a nil parent returns nil and End is nil-tolerant, so the guard is
+// cosmetic but common.
+func NilGuarded(parent *obs.Span, fail bool) error {
+	sp := parent.Child("unit")
+	if fail {
+		if sp != nil {
+			sp.End()
+		}
+		return errFailed
+	}
+	if sp != nil {
+		sp.End()
+	}
+	return nil
+}
+
+// HandedOff returns the span; the caller owns its lifetime.
+func HandedOff(jt *obs.JobTrace) *obs.Span {
+	sp := jt.Root("study")
+	sp.SetAttr("phase", "collect")
+	return sp
+}
+
+// BoundedLabel builds the label from a two-value enum.
+func BoundedLabel(v *obs.CounterVec, hit bool) {
+	label := "miss"
+	if hit {
+		label = "hit"
+	}
+	v.With(label).Inc()
+}

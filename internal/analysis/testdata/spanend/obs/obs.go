@@ -1,0 +1,47 @@
+// Package obs is a corpus stand-in for the real internal/obs tracing and
+// metrics API, matched by import-path tail.
+package obs
+
+// Span is one in-progress traced operation.
+type Span struct {
+	name  string
+	ended bool
+}
+
+// End marks the span finished; it is nil-tolerant like the real one.
+func (s *Span) End() {
+	if s != nil {
+		s.ended = true
+	}
+}
+
+// SetAttr attaches a key/value attribute.
+func (s *Span) SetAttr(k, v string) {}
+
+// Child starts a sub-span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{name: name}
+}
+
+// JobTrace owns the spans of one study.
+type JobTrace struct{}
+
+// Root starts a parentless span.
+func (jt *JobTrace) Root(name string) *Span {
+	return &Span{name: name}
+}
+
+// Counter is a monotonic metric.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// CounterVec is a labelled counter family.
+type CounterVec struct{}
+
+// With resolves one child counter by label values.
+func (v *CounterVec) With(values ...string) *Counter { return &Counter{} }

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// This file implements the command-line protocol `go vet -vettool=`
+// expects of an analysis tool, so bpvet can run under the build system's
+// modular, cached vet driver as well as standalone:
+//
+//	-V=full    print a content-addressed version line (build caching)
+//	-flags     describe supported flags as JSON (none)
+//	foo.cfg    analyze the single compilation unit described by the
+//	           JSON config file, exit 1 if there are findings
+//
+// The protocol and Config layout mirror x/tools' unitchecker, which this
+// repo cannot depend on; facts travel between packages as gob-encoded
+// string sets through the .vetx files go vet maintains.
+
+// vetConfig is the JSON compilation-unit description go vet writes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetMain handles one vettool invocation if the arguments match the
+// protocol, returning false when the caller should treat the invocation
+// as a standalone run instead.
+func VetMain(args []string, analyzers []*Analyzer) bool {
+	if len(args) == 0 {
+		return false
+	}
+	switch {
+	case args[0] == "-V=full" || args[0] == "-V":
+		exe, err := os.Executable()
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Open(exe)
+		if err != nil {
+			fatal(err)
+		}
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, h.Sum(nil))
+		os.Exit(0)
+	case args[0] == "-flags":
+		fmt.Println("[]")
+		os.Exit(0)
+	case len(args) == 1 && len(args[0]) > 4 && args[0][len(args[0])-4:] == ".cfg":
+		vetRun(args[0], analyzers)
+		os.Exit(0)
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bpvet:", err)
+	os.Exit(1)
+}
+
+func vetRun(cfgFile string, analyzers []*Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fatal(fmt.Errorf("cannot decode vet config %s: %v", cfgFile, err))
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				os.Exit(0)
+			}
+			fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErr error
+	conf := &types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if typeErr != nil && cfg.SucceedOnTypecheckFailure {
+		os.Exit(0)
+	}
+
+	// Import facts from the dependencies' .vetx files.
+	importedFacts := map[string]map[string]bool{}
+	for _, a := range analyzers {
+		importedFacts[a.Name] = map[string]bool{}
+	}
+	for _, vetx := range cfg.PackageVetx {
+		f, err := os.Open(vetx)
+		if err != nil {
+			continue // no facts from that dependency
+		}
+		var m map[string][]string
+		if err := gob.NewDecoder(f).Decode(&m); err == nil {
+			for name, facts := range m {
+				if importedFacts[name] == nil {
+					continue
+				}
+				for _, fact := range facts {
+					importedFacts[name][fact] = true
+				}
+			}
+		}
+		f.Close()
+	}
+
+	pkg := &Package{
+		ImportPath: cfg.ImportPath,
+		Name:       tpkg.Name(),
+		Dir:        cfg.Dir,
+		GoFiles:    cfg.GoFiles,
+		Target:     true,
+		Fset:       fset,
+		Syntax:     files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+
+	var diags []Diagnostic
+	exported := map[string][]string{}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:      a,
+			Fset:          fset,
+			Files:         files,
+			Pkg:           tpkg,
+			TypesInfo:     info,
+			Dir:           cfg.Dir,
+			ImportPath:    cfg.ImportPath,
+			GoFiles:       cfg.GoFiles,
+			ImportedFacts: importedFacts[a.Name],
+			diags:         &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			fatal(fmt.Errorf("%s: %s: %v", a.Name, cfg.ImportPath, err))
+		}
+		// Re-export imported facts alongside this package's own, so they
+		// reach dependents through direct-dependency vetx files alone.
+		out := make([]string, 0, len(pass.exported)+len(importedFacts[a.Name]))
+		for fact := range pass.exported {
+			out = append(out, fact)
+		}
+		for fact := range importedFacts[a.Name] {
+			out = append(out, fact)
+		}
+		exported[a.Name] = out
+	}
+
+	if cfg.VetxOutput != "" {
+		f, err := os.Create(cfg.VetxOutput)
+		if err != nil {
+			fatal(err)
+		}
+		if err := gob.NewEncoder(f).Encode(exported); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+	findings := resolve(fset, []*Package{pkg}, diags)
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", f.Position, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

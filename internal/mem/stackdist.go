@@ -195,6 +195,8 @@ func (s *StackDist) compact() {
 // Access records a reference to line and returns its reuse distance, or
 // ColdDistance for the first reference to that line. A distance of 0 means
 // the line was the most recently referenced line.
+//
+//bp:noalloc
 func (s *StackDist) Access(line uint64) int {
 	s.ensureTime()
 	s.time++
@@ -230,6 +232,8 @@ func (s *StackDist) Distinct() int { return s.live }
 // Reset clears all history. The table is invalidated by a generation bump
 // and the tree by zeroing only its used prefix, so the collector can reset
 // at every region boundary without reallocating (or re-growing) either.
+//
+//bp:noalloc
 func (s *StackDist) Reset() {
 	s.gen++
 	if s.gen == 0 { // generation wrap: stale stamps could collide, scrub once

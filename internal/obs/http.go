@@ -45,6 +45,22 @@ func InstrumentHandler(reg *Registry, name string, next http.Handler) http.Handl
 		if route == "" {
 			route = "unmatched"
 		}
-		hist.With(route, strconv.Itoa(rec.code)).Observe(time.Since(start).Seconds())
+		hist.With(route, statusLabel(rec.code)).Observe(time.Since(start).Seconds())
 	})
+}
+
+// statusLabel maps a response status to a bounded label set: the
+// standard codes by number, anything nonstandard collapsed to its class
+// ("4xx") so a handler emitting made-up codes cannot mint unbounded
+// series.
+func statusLabel(code int) string {
+	if http.StatusText(code) != "" {
+		return strconv.Itoa(code)
+	}
+	switch {
+	case code >= 100 && code < 600:
+		return strconv.Itoa(code/100) + "xx"
+	default:
+		return "invalid"
+	}
 }

@@ -49,6 +49,32 @@ func TestInstrumentHandler(t *testing.T) {
 	}
 }
 
+// TestStatusLabel pins the bounded-cardinality mapping behind the code
+// label (the spanend finding bpvet raised on this file): standard codes
+// keep their number, nonstandard ones collapse to their class, and junk
+// outside the status range cannot mint a series per value.
+func TestStatusLabel(t *testing.T) {
+	cases := []struct {
+		code int
+		want string
+	}{
+		{200, "200"},
+		{404, "404"},
+		{503, "503"},
+		{299, "2xx"}, // valid class, no registered text
+		{460, "4xx"}, // load-balancer-style custom code
+		{599, "5xx"},
+		{99, "invalid"},
+		{600, "invalid"},
+		{-1, "invalid"},
+	}
+	for _, c := range cases {
+		if got := statusLabel(c.code); got != c.want {
+			t.Errorf("statusLabel(%d) = %q, want %q", c.code, got, c.want)
+		}
+	}
+}
+
 // TestInstrumentHandlerNilRegistry: wrapping with no registry returns the
 // handler unchanged.
 func TestInstrumentHandlerNilRegistry(t *testing.T) {

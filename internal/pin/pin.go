@@ -23,6 +23,8 @@ import (
 const NumDistBins = 20
 
 // DistBin maps a reuse distance to its LDV bucket.
+//
+//bp:noalloc
 func DistBin(dist int) int {
 	if dist == mem.ColdDistance {
 		return NumDistBins - 1
@@ -105,6 +107,8 @@ func newCollector(n int) *collector {
 // add accumulates w at index i, recording first touches. Entries only grow
 // (weights and bucket counts are non-negative), so a dimension becomes
 // dirty exactly once per region.
+//
+//bp:noalloc
 func (c *collector) add(i int32, w float64) {
 	if w == 0 {
 		return
@@ -117,6 +121,8 @@ func (c *collector) add(i int32, w float64) {
 
 // view sorts the dirty indices and returns the region's ordered sparse
 // view, aliasing the collector's scratch.
+//
+//bp:noalloc
 func (c *collector) view() Sparse {
 	slices.Sort(c.dirty)
 	c.vals = c.vals[:0]
@@ -127,6 +133,8 @@ func (c *collector) view() Sparse {
 }
 
 // reset zeroes exactly the touched entries, readying the next region.
+//
+//bp:noalloc
 func (c *collector) reset() {
 	for _, i := range c.dirty {
 		c.dense[i] = 0

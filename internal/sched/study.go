@@ -66,7 +66,11 @@ func discKey(kind, fp string, cfg core.DiscoveryConfig, run int) resultcache.Key
 // collectKey addresses one native counter collection. The key spells the
 // fields out rather than hashing the whole struct because CollectConfig
 // carries pointer overrides (Overhead, Machine) that need to be keyed by
-// value. The variant's ISA must be non-nil.
+// value. The variant's ISA must be non-nil. The annotation holds the
+// hand-spelled key exhaustive: bpvet fails the build if CollectConfig
+// grows a field this function does not read.
+//
+//bp:keyfields core.CollectConfig
 func collectKey(fp string, cfg core.CollectConfig) resultcache.Key {
 	keyCfg := cfg.WithDefaults()
 	// 0 and 1 multiplex groups both mean "multiplexing disabled" in papi,

@@ -52,6 +52,8 @@ func (p *Projector) ensureRows(n int) {
 // accumulation order is unchanged from the scalar loop, so results are
 // bit-identical; the unrolling only breaks the loop-carried bookkeeping
 // dependence so the FP adds on independent lanes pipeline.
+//
+//bp:noalloc
 func accumulate(out, row []float64, x float64) {
 	n := len(out)
 	row = row[:n] // bounds-check hint
@@ -70,8 +72,10 @@ func accumulate(out, row []float64, x float64) {
 // ProjectInto writes the L1-normalised projection of dense v into out,
 // which must have length Dim. It allocates only to extend the cached
 // projection rows the first time a longer input is seen.
+//
+//bp:noalloc
 func (p *Projector) ProjectInto(out, v []float64) {
-	p.checkOut(out)
+	p.checkOut(out) //bp:lint-ok noalloc inlined panic formatting, never runs on the hot path
 	var sum float64
 	for _, x := range v {
 		sum += math.Abs(x)
@@ -99,9 +103,12 @@ func (p *Projector) ProjectInto(out, v []float64) {
 // the dense entry at index idx[k], idx is ascending, omitted entries are
 // zero. Because a dense pass both sums and accumulates in index order and
 // skips zeros, consuming the sparse view directly is bit-identical.
+//
+//bp:noalloc
 func (p *Projector) ProjectSparseInto(out []float64, idx []int32, val []float64) {
-	p.checkOut(out)
+	p.checkOut(out) //bp:lint-ok noalloc inlined panic formatting, never runs on the hot path
 	if len(idx) != len(val) {
+		//bp:lint-ok noalloc panic formatting, never runs on the hot path
 		panic(fmt.Sprintf("sigvec: sparse view with %d indices, %d values", len(idx), len(val)))
 	}
 	var sum float64
@@ -191,6 +198,8 @@ func (b *Builder) split(out []float64) (bbv, ldv []float64) {
 
 // BuildInto writes the signature vector for dense bbv/ldv into out
 // (length Dims). Components Options disables are ignored.
+//
+//bp:noalloc
 func (b *Builder) BuildInto(out, bbv, ldv []float64) {
 	dBBV, dLDV := b.split(out)
 	if b.opts.UseBBV {
@@ -204,6 +213,8 @@ func (b *Builder) BuildInto(out, bbv, ldv []float64) {
 // BuildSparseInto writes the signature vector for ordered sparse BBV and
 // LDV views into out. The discovery hot path feeds pin.Stream's sparse
 // views straight through here: no densification, no per-point allocation.
+//
+//bp:noalloc
 func (b *Builder) BuildSparseInto(out []float64, bbvIdx []int32, bbvVal []float64, ldvIdx []int32, ldvVal []float64) {
 	dBBV, dLDV := b.split(out)
 	if b.opts.UseBBV {
@@ -218,6 +229,8 @@ func (b *Builder) BuildSparseInto(out []float64, bbvIdx []int32, bbvVal []float6
 // combined with a dense LDV — the jittered-discovery shape, where BBVs
 // stream from the instrumented run but LDVs are reused from the canonical
 // run's dense baseline.
+//
+//bp:noalloc
 func (b *Builder) BuildSparseDenseInto(out []float64, bbvIdx []int32, bbvVal []float64, ldv []float64) {
 	dBBV, dLDV := b.split(out)
 	if b.opts.UseBBV {
