@@ -73,19 +73,22 @@ test-persist:
 # test-dist exercises distributed execution end to end under the race
 # detector: an in-process worker + coordinator pair over httptest (golden
 # equivalence vs the local path, worker death mid-study, dead-fleet local
-# fallback, cancellation of in-flight remote units) plus the executor
-# layer's unit tests.
+# fallback, cancellation of in-flight remote units, cross-process trace
+# propagation and grafting) plus the executor layer's unit tests.
 test-dist:
 	$(GO) test -race -run 'Distributed|Worker|Executor|UnitRequest|LongPoll' \
 		./internal/sched/... ./internal/service/...
 
 # test-obs exercises the observability layer under the race detector: the
-# registry/exposition/tracer unit tests, plus the end-to-end smokes that
-# run studies against live servers and assert the key /metrics series are
-# present and non-zero and the trace endpoint serves a rooted span tree.
+# registry/exposition/tracer/logger unit tests (graft re-basing, event
+# ring eviction, /debug/events filtering), plus the end-to-end smokes
+# that run studies against live servers and assert the key /metrics
+# series are present and non-zero, the trace endpoint serves a rooted
+# span tree, and a two-worker study's trace merges the grafted worker
+# subtrees into one tree.
 test-obs:
 	$(GO) test -race ./internal/obs/...
-	$(GO) test -race -run 'MetricsEndToEnd|TraceEndToEnd|InlineCollections' \
+	$(GO) test -race -run 'MetricsEndToEnd|TraceEndToEnd|InlineCollections|DistributedTracePropagation' \
 		./internal/sched/... ./internal/service/...
 
 bench:

@@ -33,6 +33,12 @@
 //	curl -s localhost:8080/studies/s-000001/trace      # per-unit span tree
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/metrics                      # Prometheus text format
+//	curl -s 'localhost:8080/debug/events?job=s-000001'  # recent structured events
+//
+// Diagnostics are structured JSONL events on stderr (one JSON object per
+// line, with job/span correlation IDs); -log-level sets the minimum
+// severity and GET /debug/events tails the most recent events without
+// log-file access.
 //
 // -debug-addr serves Go's pprof profiler on a separate address
 // (e.g. -debug-addr localhost:6060, then `go tool pprof
@@ -72,8 +78,16 @@ func main() {
 		priority    = flag.Int("priority", 0,
 			fmt.Sprintf("default priority band for submissions that omit one (higher starts first, ±%d)", service.MaxPriority))
 		debugAddr = flag.String("debug-addr", "", "optional address serving net/http/pprof at /debug/pprof/ (empty = disabled)")
+		logLevel  = flag.String("log-level", "info", "minimum structured-event severity (debug|info|warn|error)")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpserved:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level, 2048)
 
 	workerURLs, err := sched.ParseWorkerList(*workers)
 	if err != nil {
@@ -91,6 +105,7 @@ func main() {
 		DefaultPriority: *priority,
 		WorkerURLs:      workerURLs,
 		WorkerInflight:  *winflight,
+		Log:             logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bpserved:", err)

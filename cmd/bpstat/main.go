@@ -1,0 +1,227 @@
+// Command bpstat prints a one-shot fleet snapshot of a running bpserved
+// coordinator for operators without a Prometheus stack: job and queue
+// state per priority band, completed units by kind, cache hit rates
+// (memory and disk), and per-worker dispatch health including
+// quarantine deadlines. It reads the same GET /healthz and GET /metrics
+// endpoints a monitoring stack would scrape, so it needs no extra
+// server support and works against any coordinator version exposing
+// them.
+//
+// Usage:
+//
+//	bpstat                              # coordinator on localhost:8080
+//	bpstat -addr http://10.0.0.1:8080
+//	watch -n2 bpstat                    # poor man's dashboard
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"barrierpoint/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://localhost:8080", "coordinator base URL (host:port also accepted)")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	base := strings.TrimSuffix(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	h, err := fetchHealth(client, base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpstat:", err)
+		os.Exit(1)
+	}
+	// Metrics are additive detail (per-kind unit counts); a coordinator
+	// that serves /healthz but not /metrics still gets a snapshot.
+	units, unitErrs, merr := fetchUnitCounts(client, base)
+
+	up := time.Duration(h.UptimeSeconds * float64(time.Second)).Round(time.Second)
+	fmt.Printf("bpserved at %s — status %s, up %s\n\n", base, h.Status, up)
+
+	fmt.Printf("jobs    ")
+	for _, st := range []service.State{
+		service.StateQueued, service.StateRunning, service.StateDone,
+		service.StateFailed, service.StateCancelled,
+	} {
+		fmt.Printf("  %s %d", st, h.Jobs[st])
+	}
+	fmt.Println()
+
+	fmt.Printf("queue     depth %d", h.QueueDepth)
+	for _, band := range sortedBands(h.QueueByPriority) {
+		fmt.Printf("  band %d: %d", band, h.QueueByPriority[band])
+	}
+	fmt.Println()
+
+	if merr == nil && len(units) > 0 {
+		fmt.Printf("units   ")
+		for _, kind := range sortedKeys(units) {
+			fmt.Printf("  %s %.0f", kind, units[kind])
+		}
+		fmt.Printf("  (errors %.0f)\n", unitErrs)
+	}
+
+	c := h.Cache
+	fmt.Printf("cache     mem %s (%d entries", hitRate(c.Hits, c.Misses), c.Entries)
+	if c.Bytes > 0 {
+		fmt.Printf(", %s", byteSize(c.Bytes))
+	}
+	fmt.Printf(")")
+	if c.Disk != nil {
+		fmt.Printf("   disk %s (%d entries, %s)   spills %d (errors %d)",
+			hitRate(c.Disk.Hits, c.Disk.Misses), c.Disk.Entries, byteSize(c.Disk.Bytes),
+			c.Spills, c.SpillErrors)
+	}
+	fmt.Println()
+
+	if h.Distributed == nil {
+		fmt.Println("\nlocal mode: no worker fleet configured")
+		return
+	}
+	d := h.Distributed
+	fmt.Printf("dispatch  remote %d   fallbacks %d   retries %d\n\n",
+		d.RemoteUnits, d.LocalFallbacks, d.Retries)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "worker\thealthy\tinflight\tunits\tfailures\tquarantined until")
+	for _, w := range d.Workers {
+		down := "-"
+		if w.DownUntil != nil {
+			down = w.DownUntil.Format(time.TimeOnly)
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%d\t%d\t%d\t%s\n",
+			w.URL, w.Healthy, w.Inflight, w.Units, w.Failures, down)
+	}
+	tw.Flush()
+}
+
+func fetchHealth(client *http.Client, base string) (*service.Health, error) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /healthz: %s", resp.Status)
+	}
+	var h service.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("decoding /healthz: %w", err)
+	}
+	return &h, nil
+}
+
+// fetchUnitCounts scrapes /metrics for the per-kind unit counters. The
+// parse is deliberately minimal: sample lines only, looking for exactly
+// the bp_sched_unit_seconds_count and bp_sched_unit_errors_total
+// families.
+func fetchUnitCounts(client *http.Client, base string) (map[string]float64, float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	units := map[string]float64{}
+	var unitErrs float64
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		name := line[:sp]
+		switch {
+		case strings.HasPrefix(name, "bp_sched_unit_seconds_count{"):
+			if kind, ok := labelValue(name, "kind"); ok {
+				units[kind] += v
+			}
+		case strings.HasPrefix(name, "bp_sched_unit_errors_total"):
+			unitErrs += v
+		}
+	}
+	return units, unitErrs, nil
+}
+
+// labelValue extracts one label's value from a series name like
+// `family{a="x",b="y"}`.
+func labelValue(series, label string) (string, bool) {
+	i := strings.IndexByte(series, '{')
+	if i < 0 {
+		return "", false
+	}
+	for _, pair := range strings.Split(strings.TrimSuffix(series[i+1:], "}"), ",") {
+		if k, v, ok := strings.Cut(pair, "="); ok && k == label {
+			return strings.Trim(v, `"`), true
+		}
+	}
+	return "", false
+}
+
+func sortedBands(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for band := range m {
+		out = append(out, band)
+	}
+	// Highest band first — that is the order the queue drains in.
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func hitRate(hits, misses uint64) string {
+	total := hits + misses
+	if total == 0 {
+		return "0% hits (0/0)"
+	}
+	return fmt.Sprintf("%.1f%% hits (%d/%d)", 100*float64(hits)/float64(total), hits, total)
+}
+
+func byteSize(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%d B", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(n)/float64(div), "KMGT"[exp])
+}

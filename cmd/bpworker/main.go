@@ -16,7 +16,11 @@
 //	bpworker -addr :8081 -max-inflight 8 -cache-dir /var/cache/bp
 //
 //	curl -s localhost:8081/healthz
-//	curl -s localhost:8081/metrics   # Prometheus text format
+//	curl -s localhost:8081/metrics        # Prometheus text format
+//	curl -s localhost:8081/debug/events   # recent structured events
+//
+// Diagnostics are structured JSONL events on stderr; -log-level sets the
+// minimum severity and GET /debug/events tails the ring of recent events.
 //
 // -debug-addr serves Go's pprof profiler on a separate address.
 package main
@@ -46,15 +50,22 @@ func main() {
 		cacheDir  = flag.String("cache-dir", "", "persistent cache directory, ideally shared with the fleet (empty = memory only)")
 		cacheMax  = flag.Int64("cache-max-bytes", 0, "persistent cache size bound in bytes (0 = unbounded)")
 		debugAddr = flag.String("debug-addr", "", "optional address serving net/http/pprof at /debug/pprof/ (empty = disabled)")
+		logLevel  = flag.String("log-level", "info", "minimum structured-event severity (debug|info|warn|error)")
 	)
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpworker:", err)
+		os.Exit(2)
+	}
 	w, err := service.NewWorker(service.WorkerConfig{
 		MaxInflight:   *inflight,
 		CacheSize:     *cache,
 		CacheBytes:    *cacheMem,
 		CacheDir:      *cacheDir,
 		CacheMaxBytes: *cacheMax,
+		Log:           obs.NewLogger(os.Stderr, level, 2048),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bpworker:", err)

@@ -43,7 +43,7 @@ func TestCorporaDeclareWants(t *testing.T) {
 	badFiles := map[string]int{
 		"testdata/keyfields/bad/bad.go":            4,
 		"testdata/locksafe/bad/service/service.go": 7,
-		"testdata/spanend/bad/bad.go":              5,
+		"testdata/spanend/bad/bad.go":              8,
 		"testdata/codecreg/bad/bad.go":             2,
 		"testdata/noalloc/bad/bad.go":              2,
 	}

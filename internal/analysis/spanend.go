@@ -8,21 +8,27 @@ import (
 
 // SpanEnd enforces the observability layer's two quiet corruption modes:
 //
-//  1. Every obs span created with Root(...)/Child(...) must reach End()
-//     on every return path (or be handed off: returned, stored, attached
-//     to a context). A span that is sometimes not ended simply vanishes
-//     from the trace — the study looks fine, the evidence is gone.
-//     Ending a nil span is safe (End is nil-tolerant), so the idiomatic
-//     `if sp != nil { sp.End() }` guard counts on both branches.
+//  1. Every obs span created with Root(...)/RootAt(...)/Child(...) must
+//     reach End() on every return path (or be handed off: returned,
+//     stored, attached to a context). A span that is sometimes not ended
+//     simply vanishes from the trace — the study looks fine, the
+//     evidence is gone. Ending a nil span is safe (End is nil-tolerant),
+//     so the idiomatic `if sp != nil { sp.End() }` guard counts on both
+//     branches. EndExport() — ending a worker-side subtree by handing it
+//     off in the unit response — counts as the span's End, including
+//     when the call is a return expression or an assignment RHS.
 //
 //  2. Metric vec labels must be constant-cardinality. Label values built
 //     from strconv/fmt of arbitrary numbers, error strings or numeric
 //     conversions mint a new time series per distinct value and grow
 //     /metrics without bound; label by a bounded enum instead and put
-//     the unbounded detail in a span attribute.
+//     the unbounded detail in a span attribute. Structured-log field
+//     KEYS obey the same deny-list: obs.Logger events are keyed JSON
+//     (the key set is the event schema operators filter on), so dynamic
+//     detail belongs in field values, never in key position.
 var SpanEnd = &Analyzer{
 	Name: "spanend",
-	Doc:  "obs spans end on all paths; metric vec labels stay constant-cardinality",
+	Doc:  "obs spans end on all paths; metric labels and log field keys stay constant-cardinality",
 	Run:  runSpanEnd,
 }
 
@@ -39,6 +45,7 @@ func runSpanEnd(pass *Pass) error {
 	pass.Inspect(func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
 			checkLabelCardinality(pass, call)
+			checkLogFieldKeys(pass, call)
 		}
 		return true
 	})
@@ -46,10 +53,10 @@ func runSpanEnd(pass *Pass) error {
 }
 
 // isSpanCreation reports whether call creates a span this function owns:
-// a Root or Child method call returning *obs.Span.
+// a Root, RootAt or Child method call returning *obs.Span.
 func isSpanCreation(pass *Pass, call *ast.CallExpr) bool {
 	fn := calleeFunc(pass.TypesInfo, call)
-	if fn == nil || (fn.Name() != "Child" && fn.Name() != "Root") {
+	if fn == nil || (fn.Name() != "Child" && fn.Name() != "Root" && fn.Name() != "RootAt") {
 		return false
 	}
 	t := pass.TypesInfo.TypeOf(call)
@@ -229,7 +236,9 @@ func spanDeferredEnd(pass *Pass, fn *ast.FuncDecl, obj types.Object) bool {
 
 func isEndCallOn(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "End" {
+	// EndExport ends the span and hands its subtree off in one call (the
+	// worker → unit-response shape), so it counts the same as End.
+	if !ok || (sel.Sel.Name != "End" && sel.Sel.Name != "EndExport") {
 		return false
 	}
 	return usesObj(pass, sel.X, obj)
@@ -256,7 +265,21 @@ func (sc *spanCheck) walk(list []ast.Stmt, ended bool) (bool, bool) {
 			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isEndCallOn(sc.pass, call, sc.obj) {
 				ended = true
 			}
+		case *ast.AssignStmt:
+			// `resp.Spans = sp.EndExport()` ends the span on the RHS: the
+			// subtree is exported into the response in the same statement.
+			for _, rhs := range s.Rhs {
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isEndCallOn(sc.pass, call, sc.obj) {
+					ended = true
+				}
+			}
 		case *ast.ReturnStmt:
+			// `return sp.EndExport()` ends the span in the return expression.
+			for _, r := range s.Results {
+				if call, ok := ast.Unparen(r).(*ast.CallExpr); ok && isEndCallOn(sc.pass, call, sc.obj) {
+					ended = true
+				}
+			}
 			if !ended && s.Pos() >= sc.createdEnd {
 				missed = true
 			}
@@ -459,6 +482,43 @@ func unboundedLabel(pass *Pass, e ast.Expr) string {
 		}
 	}
 	return ""
+}
+
+// checkLogFieldKeys flags unbounded field KEYS in obs.Logger event calls
+// (Debug/Info/Warn/Error/Log). Keys are the event schema — the names
+// operators grep and filter /debug/events on — so a key minted per
+// distinct value (an ID, an error string) fragments the schema exactly
+// the way an unbounded metric label fragments /metrics. The deny-list is
+// shared with metric labels; dynamic detail belongs in the value slot.
+func checkLogFieldKeys(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	first := 2 // Debug/Info/Warn/Error(ctx, msg, kv...)
+	switch fn.Name() {
+	case "Debug", "Info", "Warn", "Error":
+	case "Log":
+		first = 3 // Log(ctx, level, msg, kv...)
+	default:
+		return
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return
+	}
+	n, _ := namedOrPtrTo(recv.Type())
+	if n == nil || n.Obj().Name() != "Logger" || n.Obj().Pkg() == nil || !pkgPathTail(n.Obj().Pkg().Path(), "obs") {
+		return
+	}
+	if call.Ellipsis.IsValid() {
+		return // forwarding a built kv slice; its keys were checked where it was built
+	}
+	for i := first; i < len(call.Args); i += 2 {
+		if reason := unboundedLabel(pass, call.Args[i]); reason != "" {
+			pass.Reportf(call.Args[i].Pos(), "structured log field key %s: keys are the event schema and must be constant — put the dynamic detail in the value position", reason)
+		}
+	}
 }
 
 func isErrorMethod(fn *types.Func) bool {

@@ -3,8 +3,10 @@
 package bad
 
 import (
+	"context"
 	"errors"
 	"strconv"
+	"time"
 
 	"barrierpoint/internal/analysis/testdata/spanend/obs"
 )
@@ -35,6 +37,19 @@ func CountByID(v *obs.CounterVec, id int) {
 
 func CountByError(v *obs.CounterVec, err error) {
 	v.With(err.Error()).Inc() // want "metric label value"
+}
+
+func RootAtNeverEnded(jt *obs.JobTrace, start time.Time) {
+	sp := jt.RootAt("recv", start) // want "may not be ended on every return path"
+	sp.SetAttr("k", "v")
+}
+
+func LogKeyByID(ctx context.Context, l *obs.Logger, id int) {
+	l.Info(ctx, "unit done", strconv.Itoa(id), "ok") // want "structured log field key"
+}
+
+func LogKeyFromError(ctx context.Context, l *obs.Logger, err error) {
+	l.Warn(ctx, "dispatch failed", err.Error(), "true") // want "structured log field key"
 }
 
 // Suppressed shows the escape hatch: a human judged this site safe, so

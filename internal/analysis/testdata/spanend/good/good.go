@@ -3,7 +3,10 @@
 package good
 
 import (
+	"context"
 	"errors"
+	"strconv"
+	"time"
 
 	"barrierpoint/internal/analysis/testdata/spanend/obs"
 )
@@ -48,4 +51,27 @@ func BoundedLabel(v *obs.CounterVec, hit bool) {
 		label = "hit"
 	}
 	v.With(label).Inc()
+}
+
+// ExportedHandoff ends the worker-side root by exporting its subtree in
+// the return expression: EndExport counts as the span's End.
+func ExportedHandoff(jt *obs.JobTrace, start time.Time) []obs.SpanRecord {
+	sp := jt.RootAt("recv", start)
+	sp.SetAttr("kind", "collect")
+	return sp.EndExport()
+}
+
+type unitResponse struct{ Spans []obs.SpanRecord }
+
+// AssignedExport stores the exported subtree in a response field; the
+// assignment RHS is the End.
+func AssignedExport(jt *obs.JobTrace, resp *unitResponse) {
+	sp := jt.Root("recv")
+	resp.Spans = sp.EndExport()
+}
+
+// ConstantLogKeys keeps keys constant and puts every dynamic detail —
+// including strconv output and the error itself — in value position.
+func ConstantLogKeys(ctx context.Context, l *obs.Logger, worker string, attempt int, err error) {
+	l.Error(ctx, "dispatch failed", "worker", worker, "attempt", strconv.Itoa(attempt), "err", err)
 }

@@ -2,6 +2,11 @@
 // metrics API, matched by import-path tail.
 package obs
 
+import (
+	"context"
+	"time"
+)
+
 // Span is one in-progress traced operation.
 type Span struct {
 	name  string
@@ -33,6 +38,45 @@ type JobTrace struct{}
 func (jt *JobTrace) Root(name string) *Span {
 	return &Span{name: name}
 }
+
+// RootAt starts a parentless span whose start is backdated.
+func (jt *JobTrace) RootAt(name string, start time.Time) *Span {
+	return &Span{name: name}
+}
+
+// SpanRecord is one completed span in export/wire form.
+type SpanRecord struct {
+	ID, Parent int64
+	Name       string
+}
+
+// EndExport ends the span and returns its trace's completed records for
+// handoff in a response body.
+func (s *Span) EndExport() []SpanRecord {
+	s.End()
+	return nil
+}
+
+// Level is an event severity.
+type Level int
+
+// Logger is a leveled structured event logger.
+type Logger struct{}
+
+// Debug emits a debug event with key/value fields.
+func (l *Logger) Debug(ctx context.Context, msg string, kv ...any) {}
+
+// Info emits an info event with key/value fields.
+func (l *Logger) Info(ctx context.Context, msg string, kv ...any) {}
+
+// Warn emits a warning event with key/value fields.
+func (l *Logger) Warn(ctx context.Context, msg string, kv ...any) {}
+
+// Error emits an error event with key/value fields.
+func (l *Logger) Error(ctx context.Context, msg string, kv ...any) {}
+
+// Log emits an event at an explicit level with key/value fields.
+func (l *Logger) Log(ctx context.Context, level Level, msg string, kv ...any) {}
 
 // Counter is a monotonic metric.
 type Counter struct{ n int64 }

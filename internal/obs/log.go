@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Level orders event severities. The zero value is LevelDebug so a
+// zero-configured logger keeps everything; daemons default to LevelInfo.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String renders the level the way events carry it on the wire.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "level(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// ParseLevel maps a flag value back to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// Event is one structured log record. TimeUS is absolute wall-clock
+// microseconds (unlike span offsets, events are compared across
+// processes by operators, not machines, so absolute time is the useful
+// rendering). Job and Span are filled automatically from the context's
+// active span when present, joining the event to the trace tree.
+type Event struct {
+	TimeUS int64             `json:"ts_us"`
+	Level  string            `json:"level"`
+	Msg    string            `json:"msg"`
+	Job    string            `json:"job,omitempty"`
+	Span   int64             `json:"span,omitempty"`
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// Logger is a leveled structured logger with two sinks: an optional
+// io.Writer receiving one JSON line per event, and a fixed-size ring
+// buffer served over GET /debug/events so operators can tail recent
+// events from a daemon without log-file access. All methods are safe
+// for concurrent use and safe on a nil receiver (no-ops), mirroring
+// the nil-safety contract of the metric handles.
+type Logger struct {
+	w   io.Writer
+	min Level
+
+	mu      sync.Mutex
+	ring    []Event
+	head    int
+	full    bool
+	dropped uint64
+}
+
+// NewLogger builds a logger writing JSONL to w (nil for ring-only) and
+// keeping the last ringSize events for /debug/events.
+func NewLogger(w io.Writer, min Level, ringSize int) *Logger {
+	if ringSize <= 0 {
+		ringSize = 1
+	}
+	return &Logger{w: w, min: min, ring: make([]Event, ringSize)}
+}
+
+var defaultLogger = NewLogger(os.Stderr, LevelInfo, 1024)
+
+// DefaultLogger is the stderr JSONL logger used when a component is
+// built without an explicit one.
+func DefaultLogger() *Logger { return defaultLogger }
+
+// Debug logs at debug level. kv is alternating key, value pairs; see Log.
+func (l *Logger) Debug(ctx context.Context, msg string, kv ...any) {
+	l.Log(ctx, LevelDebug, msg, kv...)
+}
+
+// Info logs at info level.
+func (l *Logger) Info(ctx context.Context, msg string, kv ...any) { l.Log(ctx, LevelInfo, msg, kv...) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(ctx context.Context, msg string, kv ...any) { l.Log(ctx, LevelWarn, msg, kv...) }
+
+// Error logs at error level.
+func (l *Logger) Error(ctx context.Context, msg string, kv ...any) {
+	l.Log(ctx, LevelError, msg, kv...)
+}
+
+// Log records one event. kv is alternating key, value pairs; keys must
+// be constant strings (the spanend analyzer enforces this — dynamic
+// detail belongs in values, where cardinality is free). A "job" key is
+// promoted onto the event itself so /debug/events?job= can filter on
+// it; otherwise the job and span IDs are taken from the context's
+// active span when one is present.
+func (l *Logger) Log(ctx context.Context, level Level, msg string, kv ...any) {
+	if l == nil || level < l.min {
+		return
+	}
+	ev := Event{
+		TimeUS: time.Now().UnixMicro(),
+		Level:  level.String(),
+		Msg:    msg,
+	}
+	if sp := SpanFromContext(ctx); sp != nil {
+		ev.Job = sp.JobID()
+		ev.Span = sp.ID()
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			k = "!BADKEY"
+		}
+		v := stringify(kv[i+1])
+		if k == "job" && ev.Job == "" {
+			ev.Job = v
+			continue
+		}
+		if ev.Fields == nil {
+			ev.Fields = make(map[string]string, len(kv)/2)
+		}
+		ev.Fields[k] = v
+	}
+	if len(kv)%2 != 0 {
+		if ev.Fields == nil {
+			ev.Fields = make(map[string]string, 1)
+		}
+		ev.Fields["!MISSING"] = stringify(kv[len(kv)-1])
+	}
+
+	l.mu.Lock()
+	if l.full {
+		l.dropped++
+	}
+	l.ring[l.head] = ev
+	l.head++
+	if l.head == len(l.ring) {
+		l.head, l.full = 0, true
+	}
+	w := l.w
+	l.mu.Unlock()
+
+	if w != nil {
+		// Encode outside the ring lock; a slow sink must not stall the
+		// ring. Interleaved lines stay valid JSONL because each event
+		// is one Write call.
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		w.Write(append(b, '\n'))
+	}
+}
+
+func stringify(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case error:
+		return x.Error()
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+// Events snapshots the ring, oldest first, keeping only events whose
+// Job matches job (empty matches all) and at most max events (<=0 for
+// all). Dropped reports how many events were overwritten since start.
+func (l *Logger) Events(job string, max int) (evs []Event, dropped uint64) {
+	if l == nil {
+		return nil, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.head
+	if l.full {
+		n = len(l.ring)
+	}
+	evs = make([]Event, 0, n)
+	start := 0
+	if l.full {
+		start = l.head
+	}
+	for i := 0; i < n; i++ {
+		ev := l.ring[(start+i)%len(l.ring)]
+		if job != "" && ev.Job != job {
+			continue
+		}
+		evs = append(evs, ev)
+	}
+	if max > 0 && len(evs) > max {
+		evs = evs[len(evs)-max:]
+	}
+	return evs, l.dropped
+}
+
+// Handler serves the ring as JSONL on GET /debug/events. Query
+// parameters: job= keeps only one job's events, level= drops events
+// below a severity, n= caps the count (most recent wins, default 256).
+func (l *Logger) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if l == nil {
+			http.Error(w, "no event log configured", http.StatusNotFound)
+			return
+		}
+		n := 256
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v <= 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		min := LevelDebug
+		if s := r.URL.Query().Get("level"); s != "" {
+			v, err := ParseLevel(s)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			min = v
+		}
+		evs, dropped := l.Events(r.URL.Query().Get("job"), 0)
+		if min > LevelDebug {
+			kept := evs[:0]
+			for _, ev := range evs {
+				if lv, err := ParseLevel(ev.Level); err == nil && lv >= min {
+					kept = append(kept, ev)
+				}
+			}
+			evs = kept
+		}
+		if len(evs) > n {
+			evs = evs[len(evs)-n:]
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Events-Dropped", strconv.FormatUint(dropped, 10))
+		enc := json.NewEncoder(w)
+		for _, ev := range evs {
+			enc.Encode(ev)
+		}
+	})
+}

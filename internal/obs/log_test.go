@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func decodeEvents(t *testing.T, s string) []Event {
+	t.Helper()
+	var evs []Event
+	sc := bufio.NewScanner(strings.NewReader(s))
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// TestLoggerJSONL asserts the writer sink emits one parseable JSON object
+// per event, with levels filtered, values stringified, and the "job" key
+// promoted onto the event.
+func TestLoggerJSONL(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelInfo, 16)
+	ctx := context.Background()
+
+	l.Debug(ctx, "dropped below min level")
+	l.Info(ctx, "unit done", "job", "s-000001", "kind", "discover", "attempt", 2)
+	l.Error(ctx, "unit failed", "err", errors.New("boom"))
+
+	evs := decodeEvents(t, b.String())
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2 (debug filtered): %+v", len(evs), evs)
+	}
+	ev := evs[0]
+	if ev.Level != "info" || ev.Msg != "unit done" {
+		t.Errorf("event = %+v", ev)
+	}
+	if ev.Job != "s-000001" {
+		t.Errorf("job not promoted: %+v", ev)
+	}
+	if _, ok := ev.Fields["job"]; ok {
+		t.Errorf("promoted job should leave fields: %v", ev.Fields)
+	}
+	if ev.Fields["kind"] != "discover" || ev.Fields["attempt"] != "2" {
+		t.Errorf("fields = %v", ev.Fields)
+	}
+	if ev.TimeUS == 0 {
+		t.Error("ts_us missing")
+	}
+	if evs[1].Level != "error" || evs[1].Fields["err"] != "boom" {
+		t.Errorf("error event = %+v", evs[1])
+	}
+}
+
+// TestLoggerMalformedKV asserts the logger degrades loudly, not silently,
+// on misuse: odd pair counts and non-string keys surface as sentinel
+// fields instead of being dropped.
+func TestLoggerMalformedKV(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelDebug, 4)
+	l.Info(context.Background(), "odd", "key-without-value")
+	l.Info(context.Background(), "badkey", 42, "v")
+
+	evs := decodeEvents(t, b.String())
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Fields["!MISSING"] != "key-without-value" {
+		t.Errorf("odd kv fields = %v", evs[0].Fields)
+	}
+	if evs[1].Fields["!BADKEY"] != "v" {
+		t.Errorf("non-string key fields = %v", evs[1].Fields)
+	}
+}
+
+// TestLoggerSpanCorrelation asserts events logged under a context that
+// carries a span inherit its job and span IDs, which then win over any
+// "job" kv pair.
+func TestLoggerSpanCorrelation(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelDebug, 4)
+	jt := NewJobTrace("s-000042", 0)
+	sp := jt.Root("study")
+	defer sp.End()
+	ctx := ContextWithSpan(context.Background(), sp)
+
+	l.Info(ctx, "correlated", "job", "other")
+
+	evs := decodeEvents(t, b.String())
+	if len(evs) != 1 {
+		t.Fatalf("events = %d, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Job != "s-000042" || ev.Span != sp.ID() {
+		t.Errorf("correlation = job %q span %d, want s-000042/%d", ev.Job, ev.Span, sp.ID())
+	}
+	// The explicit "job" kv stays a field when the context already names
+	// the job — it does not silently overwrite the correlation.
+	if ev.Fields["job"] != "other" {
+		t.Errorf("fields = %v", ev.Fields)
+	}
+}
+
+// TestLoggerRingEviction fills a 4-event ring with 6 events and asserts
+// the two oldest fall out, the survivors come back oldest-first, and the
+// drop counter reports the loss.
+func TestLoggerRingEviction(t *testing.T) {
+	l := NewLogger(nil, LevelDebug, 4)
+	for _, msg := range []string{"a", "b", "c", "d", "e", "f"} {
+		l.Info(context.Background(), msg)
+	}
+	evs, dropped := l.Events("", 0)
+	if dropped != 2 {
+		t.Errorf("dropped = %d, want 2", dropped)
+	}
+	var got []string
+	for _, ev := range evs {
+		got = append(got, ev.Msg)
+	}
+	want := []string{"c", "d", "e", "f"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("ring = %v, want %v", got, want)
+	}
+
+	// Job filter and max trimming: max keeps the most recent.
+	l.Info(context.Background(), "g", "job", "s-1")
+	l.Info(context.Background(), "h", "job", "s-1")
+	if evs, _ := l.Events("s-1", 1); len(evs) != 1 || evs[0].Msg != "h" {
+		t.Errorf("filtered = %+v, want just h", evs)
+	}
+}
+
+// TestLoggerNil asserts the nil-receiver contract: every method no-ops.
+func TestLoggerNil(t *testing.T) {
+	var l *Logger
+	l.Info(context.Background(), "into the void", "k", "v")
+	if evs, dropped := l.Events("", 0); evs != nil || dropped != 0 {
+		t.Errorf("nil logger returned events %v dropped %d", evs, dropped)
+	}
+	rec := httptest.NewRecorder()
+	l.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	if rec.Code != 404 {
+		t.Errorf("nil handler status = %d, want 404", rec.Code)
+	}
+}
+
+// TestLoggerConcurrent hammers one logger from many goroutines; the race
+// detector is the assertion.
+func TestLoggerConcurrent(t *testing.T) {
+	l := NewLogger(nil, LevelDebug, 32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Info(context.Background(), "tick", "job", "s-1")
+				l.Events("s-1", 4)
+			}
+		}()
+	}
+	wg.Wait()
+	if evs, _ := l.Events("", 0); len(evs) != 32 {
+		t.Errorf("ring length = %d, want full 32", len(evs))
+	}
+}
+
+// TestDebugEventsHandler drives GET /debug/events through its query
+// parameters: job filter, level floor, count cap, and the dropped header.
+func TestDebugEventsHandler(t *testing.T) {
+	l := NewLogger(nil, LevelDebug, 4)
+	ctx := context.Background()
+	l.Debug(ctx, "noise", "job", "s-1")
+	l.Info(ctx, "started", "job", "s-1")
+	l.Warn(ctx, "slow worker", "job", "s-2")
+	l.Error(ctx, "failed", "job", "s-1")
+	l.Info(ctx, "other", "job", "s-2") // evicts "noise"
+
+	get := func(query string) (*httptest.ResponseRecorder, []Event) {
+		rec := httptest.NewRecorder()
+		l.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events"+query, nil))
+		if rec.Code != 200 {
+			return rec, nil // error bodies are plain text, not JSONL
+		}
+		return rec, decodeEvents(t, rec.Body.String())
+	}
+
+	rec, evs := get("")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content-type = %q", ct)
+	}
+	if rec.Header().Get("X-Events-Dropped") != "1" {
+		t.Errorf("dropped header = %q, want 1", rec.Header().Get("X-Events-Dropped"))
+	}
+	if len(evs) != 4 {
+		t.Errorf("events = %d, want 4", len(evs))
+	}
+
+	if _, evs := get("?job=s-1"); len(evs) != 2 {
+		t.Errorf("job filter = %+v, want started+failed", evs)
+	}
+	if _, evs := get("?level=warn"); len(evs) != 2 {
+		t.Errorf("level filter = %+v, want warn+error", evs)
+	}
+	if _, evs := get("?n=1"); len(evs) != 1 || evs[0].Msg != "other" {
+		t.Errorf("n=1 = %+v, want most recent", evs)
+	}
+	if rec, _ := get("?n=zero"); rec.Code != 400 {
+		t.Errorf("bad n status = %d, want 400", rec.Code)
+	}
+	if rec, _ := get("?level=loud"); rec.Code != 400 {
+		t.Errorf("bad level status = %d, want 400", rec.Code)
+	}
+}
+
+// TestParseLevel round-trips every level and rejects garbage.
+func TestParseLevel(t *testing.T) {
+	for _, lv := range []Level{LevelDebug, LevelInfo, LevelWarn, LevelError} {
+		got, err := ParseLevel(lv.String())
+		if err != nil || got != lv {
+			t.Errorf("ParseLevel(%q) = %v, %v", lv.String(), got, err)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("ParseLevel(verbose) should fail")
+	}
+}

@@ -84,10 +84,21 @@ func NewJobTrace(job string, maxSpans int) *JobTrace {
 
 // Root starts a parentless span (the study span).
 func (jt *JobTrace) Root(name string) *Span {
-	return jt.start(0, name)
+	return jt.startAt(0, name, time.Now())
 }
 
-func (jt *JobTrace) start(parent int64, name string) *Span {
+// RootAt starts a parentless span with an explicit start time, for work
+// that began before the trace existed — a worker learns a unit is
+// traced only after decoding it, but the recv span should still cover
+// the bytes that arrived first.
+func (jt *JobTrace) RootAt(name string, start time.Time) *Span {
+	if start.IsZero() {
+		start = time.Now()
+	}
+	return jt.startAt(0, name, start)
+}
+
+func (jt *JobTrace) startAt(parent int64, name string, start time.Time) *Span {
 	if jt == nil {
 		return nil
 	}
@@ -95,7 +106,7 @@ func (jt *JobTrace) start(parent int64, name string) *Span {
 	jt.nextID++
 	id := jt.nextID
 	jt.mu.Unlock()
-	return &Span{jt: jt, id: id, parent: parent, name: name, start: time.Now()}
+	return &Span{jt: jt, id: id, parent: parent, name: name, start: start}
 }
 
 // record appends one completed span, overwriting the oldest once the
@@ -180,7 +191,51 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.jt.start(s.id, name)
+	return s.jt.startAt(s.id, name, time.Now())
+}
+
+// ChildAt records an already-completed child span of s with explicit
+// start and end times — retro-instrumentation for work that finished
+// before the span tree existed (a worker's decode of the very request
+// that carried the trace context).
+func (s *Span) ChildAt(name string, start, end time.Time) {
+	if s == nil {
+		return
+	}
+	// Epoch-derived offsets for the same reason as End: containment must
+	// survive microsecond truncation.
+	startUS := start.Sub(s.jt.epoch).Microseconds()
+	durUS := end.Sub(s.jt.epoch).Microseconds() - startUS
+	if durUS < 0 {
+		durUS = 0
+	}
+	s.jt.mu.Lock()
+	s.jt.nextID++
+	id := s.jt.nextID
+	s.jt.mu.Unlock()
+	s.jt.record(SpanRecord{
+		ID:      id,
+		Parent:  s.id,
+		Name:    name,
+		StartUS: startUS,
+		DurUS:   durUS,
+	})
+}
+
+// ID returns the span's identifier within its job trace (0 for nil).
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// JobID returns the ID of the job the span belongs to ("" for nil).
+func (s *Span) JobID() string {
+	if s == nil {
+		return ""
+	}
+	return s.jt.job
 }
 
 // SetAttr attaches a key/value to the span (last write per key wins).
@@ -211,14 +266,141 @@ func (s *Span) End() {
 	s.ended = true
 	attrs := s.attrs
 	s.mu.Unlock()
+	// Both offsets derive from the epoch, never from each other: with
+	// floor(start)+floor(dur) a nested span's end could round 1us past
+	// its parent's, breaking the containment GraftRemote guarantees.
+	startUS := s.start.Sub(s.jt.epoch).Microseconds()
+	durUS := end.Sub(s.jt.epoch).Microseconds() - startUS
+	if durUS < 0 {
+		durUS = 0
+	}
 	s.jt.record(SpanRecord{
 		ID:      s.id,
 		Parent:  s.parent,
 		Name:    s.name,
-		StartUS: s.start.Sub(s.jt.epoch).Microseconds(),
-		DurUS:   end.Sub(s.start).Microseconds(),
+		StartUS: startUS,
+		DurUS:   durUS,
 		Attrs:   attrs,
 	})
+}
+
+// TraceContext is the wire form of "this unit belongs to that span":
+// what a coordinator sends alongside a dispatched unit so the remote
+// process can build a span subtree the coordinator grafts back under
+// the originating span. EpochUS and StartUS describe the coordinator's
+// wall clock; they exist only so the remote side can attach an
+// advisory lag estimate — GraftRemote never trusts remote absolute
+// timestamps when re-basing.
+type TraceContext struct {
+	Job     string `json:"job"`
+	Span    int64  `json:"span"`
+	EpochUS int64  `json:"epoch_us"`
+	StartUS int64  `json:"start_us"`
+}
+
+// WireContext exports the span as a TraceContext for propagation to a
+// remote process. Nil for a nil span, so untraced paths send nothing.
+func (s *Span) WireContext() *TraceContext {
+	if s == nil {
+		return nil
+	}
+	return &TraceContext{
+		Job:     s.jt.job,
+		Span:    s.id,
+		EpochUS: s.jt.epoch.UnixMicro(),
+		StartUS: s.start.Sub(s.jt.epoch).Microseconds(),
+	}
+}
+
+// Export snapshots the recorded spans — the payload a worker returns in
+// its unit response for the coordinator to graft.
+func (jt *JobTrace) Export() []SpanRecord {
+	if jt == nil {
+		return nil
+	}
+	recs, _ := jt.snapshot()
+	return recs
+}
+
+// EndExport ends the span and returns its job trace's recorded spans.
+// This is the handoff shape for a subtree that leaves the process in a
+// response body: the spanend analyzer treats it as the span's End.
+func (s *Span) EndExport() []SpanRecord {
+	if s == nil {
+		return nil
+	}
+	s.End()
+	return s.jt.Export()
+}
+
+// GraftRemote splices a remote process's exported span subtree under s,
+// re-based onto s's own wall-clock window. Remote clocks are never
+// trusted: only the *relative* offsets between the remote records
+// survive. The subtree is shifted so it sits inside [s.start, now] —
+// centered when it is shorter than the window, clamped to the window
+// edges when skew or drift pushes any span outside it — so the merged
+// tree never shows a child outside its parent dispatch span. Remote
+// span IDs are renumbered into this trace's ID space; remote spans
+// whose parent is unknown (dropped from the remote ring) attach
+// directly under s.
+func (s *Span) GraftRemote(recs []SpanRecord) {
+	if s == nil || len(recs) == 0 {
+		return
+	}
+	jt := s.jt
+	winStart := s.start.Sub(jt.epoch).Microseconds()
+	winEnd := time.Since(jt.epoch).Microseconds()
+	if winEnd < winStart {
+		winEnd = winStart
+	}
+
+	minStart, maxEnd := recs[0].StartUS, recs[0].StartUS
+	for _, r := range recs {
+		if r.StartUS < minStart {
+			minStart = r.StartUS
+		}
+		end := r.StartUS + max(r.DurUS, 0)
+		if end > maxEnd {
+			maxEnd = end
+		}
+	}
+	// Center the remote extent inside the dispatch window; a subtree
+	// longer than the window (clock drift mid-unit) starts at the left
+	// edge and gets clamped on the right.
+	off := (winEnd - winStart - (maxEnd - minStart)) / 2
+	if off < 0 {
+		off = 0
+	}
+
+	jt.mu.Lock()
+	base := jt.nextID
+	jt.nextID += int64(len(recs))
+	jt.mu.Unlock()
+	idmap := make(map[int64]int64, len(recs))
+	for i, r := range recs {
+		idmap[r.ID] = base + int64(i) + 1
+	}
+
+	for _, r := range recs {
+		nr := r
+		nr.ID = idmap[r.ID]
+		if p, ok := idmap[r.Parent]; ok && r.Parent != r.ID {
+			nr.Parent = p
+		} else {
+			nr.Parent = s.id
+		}
+		nr.StartUS = winStart + off + (r.StartUS - minStart)
+		if nr.StartUS > winEnd {
+			nr.StartUS = winEnd
+		}
+		if nr.DurUS < 0 {
+			nr.DurUS = 0
+		}
+		if nr.StartUS+nr.DurUS > winEnd {
+			nr.DurUS = winEnd - nr.StartUS
+		}
+		jt.record(nr)
+	}
 }
 
 // ctxKey carries the active span through a context.

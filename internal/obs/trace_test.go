@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestSpanTree records a study-shaped trace and asserts the exported tree
@@ -140,6 +141,168 @@ func TestWriteJSONL(t *testing.T) {
 			t.Errorf("names[%d] = %q, want %q", i, names[i], want[i])
 		}
 	}
+}
+
+// findNode walks a trace tree for the first node with the given name.
+func findNode(ns []*SpanNode, name string) *SpanNode {
+	for _, n := range ns {
+		if n.Name == name {
+			return n
+		}
+		if c := findNode(n.Children, name); c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// TestWireContext asserts the trace context a dispatch span exports
+// round-trips the IDs a worker needs, and that untraced paths export nil.
+func TestWireContext(t *testing.T) {
+	jt := NewJobTrace("s-000007", 0)
+	sp := jt.Root("dispatch:discover")
+	defer sp.End()
+	tc := sp.WireContext()
+	if tc == nil || tc.Job != "s-000007" || tc.Span != sp.ID() {
+		t.Fatalf("WireContext = %+v", tc)
+	}
+	if tc.EpochUS == 0 {
+		t.Error("epoch_us missing")
+	}
+	var nilSpan *Span
+	if nilSpan.WireContext() != nil {
+		t.Error("nil span should export nil context")
+	}
+}
+
+// TestEndExport asserts the worker-side handoff shape: the root ends,
+// the export carries the whole recorded subtree, and RootAt/ChildAt
+// retro-date the spans that began before the trace existed.
+func TestEndExport(t *testing.T) {
+	recvStart := time.Now().Add(-3 * time.Millisecond)
+	decoded := recvStart.Add(time.Millisecond)
+	jt := NewJobTrace("s-1", 0)
+	root := jt.RootAt("recv", recvStart)
+	root.ChildAt("decode", recvStart, decoded)
+	root.Child("compute").End()
+
+	recs := root.EndExport()
+	if len(recs) != 3 {
+		t.Fatalf("exported %d records, want 3: %+v", len(recs), recs)
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	recv, ok := byName["recv"]
+	if !ok {
+		t.Fatal("recv span missing: EndExport must end the root")
+	}
+	if recv.StartUS >= 0 {
+		t.Errorf("recv start = %dus; RootAt should backdate it before the trace epoch", recv.StartUS)
+	}
+	if d := byName["decode"]; d.Parent != recv.ID || d.StartUS != recv.StartUS {
+		t.Errorf("decode = %+v, want child of recv starting with it", d)
+	}
+	if c := byName["compute"]; c.Parent != recv.ID {
+		t.Errorf("compute parent = %d, want recv %d", c.Parent, recv.ID)
+	}
+	// End is folded into EndExport: a second End must not re-record.
+	root.End()
+	if again := jt.Export(); len(again) != 3 {
+		t.Errorf("re-End recorded again: %d records", len(again))
+	}
+	var nilSpan *Span
+	if nilSpan.EndExport() != nil {
+		t.Error("nil EndExport should return nil")
+	}
+}
+
+// TestGraftRemote grafts a skewed remote subtree under a dispatch span
+// and asserts only relative offsets survive: the grafted spans land
+// inside the dispatch window, keep their internal spacing and parentage,
+// and get fresh IDs; orphans attach under the dispatch span.
+func TestGraftRemote(t *testing.T) {
+	jt := NewJobTrace("s-1", 0)
+	sp := jt.Root("dispatch:discover")
+	time.Sleep(5 * time.Millisecond)
+
+	// Remote offsets simulate a worker whose epoch is wildly different
+	// (5000s of skew); spacing between records is 100us / 40us.
+	const skew = int64(5_000_000_000)
+	sp.GraftRemote([]SpanRecord{
+		{ID: 7, Name: "recv", StartUS: skew, DurUS: 200},
+		{ID: 9, Parent: 7, Name: "compute", StartUS: skew + 100, DurUS: 40},
+		{ID: 11, Parent: 99, Name: "orphan", StartUS: skew + 150, DurUS: 10},
+	})
+	grafted, _ := jt.snapshot()
+	sp.End()
+
+	tr := jt.Tree()
+	disp := findNode(tr.Spans, "dispatch:discover")
+	if disp == nil {
+		t.Fatal("dispatch span missing")
+	}
+	recv := findNode(disp.Children, "recv")
+	orphan := findNode(disp.Children, "orphan")
+	if recv == nil || orphan == nil {
+		t.Fatalf("recv/orphan not children of dispatch: %+v", disp.Children)
+	}
+	compute := findNode(recv.Children, "compute")
+	if compute == nil {
+		t.Fatalf("compute not child of recv: %+v", recv.Children)
+	}
+	if compute.StartUS-recv.StartUS != 100 {
+		t.Errorf("relative spacing = %dus, want 100", compute.StartUS-recv.StartUS)
+	}
+	dispEnd := disp.StartUS + disp.DurUS
+	for _, r := range grafted {
+		if r.StartUS < disp.StartUS || r.StartUS+r.DurUS > dispEnd {
+			t.Errorf("span %s [%d,%d]us outside dispatch window [%d,%d]us",
+				r.Name, r.StartUS, r.StartUS+r.DurUS, disp.StartUS, dispEnd)
+		}
+		if r.DurUS < 0 {
+			t.Errorf("span %s has negative duration %d", r.Name, r.DurUS)
+		}
+		if r.ID == 7 || r.ID == 9 || r.ID == 11 {
+			t.Errorf("span %s kept its remote ID %d", r.Name, r.ID)
+		}
+	}
+}
+
+// TestGraftRemoteClamped grafts a subtree longer than the dispatch window
+// (mid-unit clock drift) and asserts it is clamped to the window rather
+// than spilling outside its parent.
+func TestGraftRemoteClamped(t *testing.T) {
+	jt := NewJobTrace("s-1", 0)
+	sp := jt.Root("dispatch")
+	// No sleep: the window is microseconds wide, the subtree is a second.
+	sp.GraftRemote([]SpanRecord{
+		{ID: 1, Name: "recv", StartUS: 0, DurUS: 1_000_000},
+		{ID: 2, Parent: 1, Name: "compute", StartUS: 900_000, DurUS: -50},
+	})
+	grafted, _ := jt.snapshot()
+	sp.End()
+
+	tr := jt.Tree()
+	disp := findNode(tr.Spans, "dispatch")
+	if disp == nil {
+		t.Fatal("dispatch span missing")
+	}
+	dispEnd := disp.StartUS + disp.DurUS
+	for _, r := range grafted {
+		if r.DurUS < 0 {
+			t.Errorf("span %s kept negative duration %d", r.Name, r.DurUS)
+		}
+		if r.StartUS < disp.StartUS || r.StartUS+r.DurUS > dispEnd {
+			t.Errorf("span %s [%d,%d]us not clamped into [%d,%d]us",
+				r.Name, r.StartUS, r.StartUS+r.DurUS, disp.StartUS, dispEnd)
+		}
+	}
+	// Nil and empty grafts are no-ops.
+	var nilSpan *Span
+	nilSpan.GraftRemote([]SpanRecord{{ID: 1, Name: "x"}})
+	sp.GraftRemote(nil)
 }
 
 // TestTracerEviction bounds the tracer at 2 jobs and asserts the oldest

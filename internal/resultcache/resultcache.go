@@ -18,11 +18,14 @@ package resultcache
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"sync"
+
+	"barrierpoint/internal/obs"
 )
 
 // Key is a content hash identifying one memoised computation.
@@ -138,6 +141,10 @@ type Config struct {
 	// misses read through to it, puts are written behind to it by a
 	// background spiller, and Close flushes the spiller and closes it.
 	Store Store
+	// Log, when non-nil, receives a structured event per failed
+	// write-behind — before it, spill failures were a bare SpillErrors
+	// count with the error detail dropped on the floor.
+	Log *obs.Logger
 }
 
 // Cache is a bounded, thread-safe LRU of computation results. A nil
@@ -152,6 +159,7 @@ type Cache struct {
 	inflight map[Key]*flight
 	bytes    int64
 	store    Store
+	log      *obs.Logger
 
 	hits, misses, puts, evictions uint64
 	diskHits, spills, spillErrors uint64
@@ -187,6 +195,7 @@ func NewWith(cfg Config) *Cache {
 		items:    make(map[Key]*list.Element),
 		inflight: make(map[Key]*flight),
 		store:    cfg.Store,
+		log:      cfg.Log,
 	}
 	if c.store != nil {
 		c.spillCond = sync.NewCond(&c.spillMu)
@@ -418,6 +427,10 @@ func (c *Cache) spillLoop() {
 		for _, item := range batch {
 			if err := c.store.Put(item.key, item.val); err != nil {
 				failed++
+				// No locks held here: the batch was detached above, so a
+				// slow log sink cannot stall Put callers.
+				c.log.Warn(context.Background(), "cache spill failed",
+					"key", string(item.key), "err", err)
 			} else {
 				ok++
 			}

@@ -81,6 +81,13 @@ type UnitRequest struct {
 	// the set immediately instead of recomputing (or disk-loading)
 	// collections the coordinator just shipped it the configurations for.
 	InlineCols *[2]InlineArtifact `json:"inline_cols,omitempty"`
+	// Trace is the dispatch span's wire context, set per dispatch attempt
+	// by the RemoteExecutor. A worker receiving it opens its own span
+	// subtree for the unit and returns the completed records in
+	// UnitResponse.Spans. Workers predating this field reject the request
+	// (DisallowUnknownFields), which the coordinator absorbs as the usual
+	// dialect-skew local fallback.
+	Trace *obs.TraceContext `json:"trace,omitempty"`
 
 	// In-band dependencies, never serialised: the coordinator populates
 	// them from artifacts it already holds so local execution costs no

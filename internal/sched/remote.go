@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"strings"
 	"sync"
@@ -24,6 +23,11 @@ import (
 type UnitResponse struct {
 	Codec string `json:"codec"`
 	Data  []byte `json:"data"`
+	// Spans is the worker's completed span subtree for this unit, present
+	// only when the request carried a trace context. The coordinator
+	// grafts it under the originating dispatch span (re-based onto the
+	// dispatch window — worker clocks are never trusted).
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
 }
 
 // Worker response statuses with protocol meaning beyond the usual HTTP
@@ -78,9 +82,11 @@ type RemoteOptions struct {
 	// in memory and keeps remotely computed artifacts for later units —
 	// the coordinator-side half of fleet-wide dedupe.
 	Cache *resultcache.Cache
-	// Logf sinks dispatch diagnostics (worker failures, fallbacks).
-	// Defaults to log.Printf.
-	Logf func(format string, args ...any)
+	// Log sinks dispatch diagnostics (worker failures, fallbacks,
+	// quarantines) as structured events carrying job, unit kind, worker
+	// and span correlation IDs. Defaults to obs.DefaultLogger (JSONL on
+	// stderr).
+	Log *obs.Logger
 	// Registry, when non-nil, receives the executor's dispatch metrics:
 	// attempt latency by outcome, retry/fallback/quarantine counters, and
 	// per-worker inflight/units/failures series.
@@ -225,7 +231,7 @@ type RemoteExecutor struct {
 	backoff  time.Duration
 	maxBack  time.Duration
 	unitTO   time.Duration
-	logf     func(format string, args ...any)
+	log      *obs.Logger
 	metrics  remoteMetrics
 	now      func() time.Time // test hook
 
@@ -278,8 +284,8 @@ func NewRemoteExecutor(workerAddrs []string, opts RemoteOptions) *RemoteExecutor
 	if opts.Fallback == nil {
 		opts.Fallback = &LocalExecutor{Cache: opts.Cache}
 	}
-	if opts.Logf == nil {
-		opts.Logf = log.Printf
+	if opts.Log == nil {
+		opts.Log = obs.DefaultLogger()
 	}
 	e := &RemoteExecutor{
 		client:   opts.Client,
@@ -288,7 +294,7 @@ func NewRemoteExecutor(workerAddrs []string, opts RemoteOptions) *RemoteExecutor
 		backoff:  opts.Backoff,
 		maxBack:  opts.MaxBackoff,
 		unitTO:   opts.UnitTimeout,
-		logf:     opts.Logf,
+		log:      opts.Log,
 		metrics:  newRemoteMetrics(opts.Registry),
 		now:      time.Now,
 	}
@@ -430,7 +436,8 @@ func (e *RemoteExecutor) ExecuteUnit(ctx context.Context, req UnitRequest) (any,
 					return nil, ctx.Err()
 				}
 				d := w.failed(e.now(), e.backoff, e.maxBack)
-				e.logf("sched: worker %s failed %s unit (quarantined %v): %v", w.url, req.Kind, d, err)
+				e.log.Warn(ctx, "worker quarantined after transport failure",
+					"worker", w.url, "kind", string(req.Kind), "backoff", d, "err", err)
 				e.mu.Lock()
 				e.retries++
 				e.mu.Unlock()
@@ -463,7 +470,8 @@ func (e *RemoteExecutor) fallbackUnit(ctx context.Context, req UnitRequest, caus
 		sp.SetAttr("fallback", "local")
 	}
 	if cause != nil {
-		e.logf("sched: executing %s unit locally (no worker available: %v)", req.Kind, cause)
+		e.log.Warn(ctx, "executing unit locally, no worker available",
+			"kind", string(req.Kind), "err", cause)
 		if e.fallback == NoFallback {
 			return nil, fmt.Errorf("sched: no worker could execute %s unit and local fallback is disabled: %w", req.Kind, cause)
 		}
@@ -507,6 +515,10 @@ func (v unitVerdict) String() string {
 func (e *RemoteExecutor) tryWorker(ctx context.Context, w *remoteWorker, req UnitRequest) (v any, err error, verdict unitVerdict) {
 	start := e.now()
 	sp := obs.SpanFromContext(ctx).Child("dispatch")
+	// Propagate the trace across the wire: the worker opens its own span
+	// subtree under this dispatch span and returns it in the response.
+	// req is a per-attempt copy, so each dispatch carries its own span.
+	req.Trace = sp.WireContext()
 	defer func() {
 		e.metrics.dispatchSeconds.With(verdict.String()).Observe(e.now().Sub(start).Seconds())
 		if sp != nil {
@@ -558,6 +570,7 @@ func (e *RemoteExecutor) tryWorker(ctx context.Context, w *remoteWorker, req Uni
 		if err != nil {
 			return nil, fmt.Errorf("sched: decoding %s artifact from %s: %w", ur.Codec, w.url, err), unitTransport
 		}
+		sp.GraftRemote(ur.Spans)
 		w.succeeded()
 		return v, nil, unitOK
 	case resp.StatusCode == StatusUnitRejected:

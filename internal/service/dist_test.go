@@ -16,9 +16,22 @@ import (
 	"barrierpoint/internal/apps"
 	"barrierpoint/internal/core"
 	"barrierpoint/internal/isa"
+	"barrierpoint/internal/obs"
 	"barrierpoint/internal/sched"
 	"barrierpoint/internal/trace"
 )
+
+// testLogger sinks structured events into the test log.
+func testLogger(t *testing.T) *obs.Logger {
+	return obs.NewLogger(testLogWriter{t}, obs.LevelDebug, 256)
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimSpace(p))
+	return len(p), nil
+}
 
 // distStudy is the study the distributed tests execute: small enough to
 // run several times per test, large enough to exercise every unit kind.
@@ -77,7 +90,7 @@ func TestDistributedGoldenEquivalence(t *testing.T) {
 	w1, w2 := newTestWorker(t), newTestWorker(t)
 	remote := sched.NewRemoteExecutor([]string{w1.URL, w2.URL}, sched.RemoteOptions{
 		Fallback: sched.NoFallback, // any fallback would mask a fleet bug
-		Logf:     t.Logf,
+		Log:      testLogger(t),
 	})
 	dist, err := sched.Run(context.Background(), req, sched.Options{Workers: 4, Executor: remote})
 	if err != nil {
@@ -131,7 +144,7 @@ func TestDistributedWorkerDiesMidStudy(t *testing.T) {
 	remote := sched.NewRemoteExecutor([]string{dying.URL, healthy.URL}, sched.RemoteOptions{
 		Fallback: sched.NoFallback, // retries alone must complete the study
 		Backoff:  time.Minute,      // once quarantined, stay dead for the test
-		Logf:     t.Logf,
+		Log:      testLogger(t),
 	})
 	dist, err := sched.Run(context.Background(), req, sched.Options{Workers: 2, Executor: remote})
 	if err != nil {
@@ -161,7 +174,7 @@ func TestDistributedAllWorkersDown(t *testing.T) {
 	deadURL := dead.URL
 	dead.Close()
 
-	remote := sched.NewRemoteExecutor([]string{deadURL}, sched.RemoteOptions{Logf: t.Logf})
+	remote := sched.NewRemoteExecutor([]string{deadURL}, sched.RemoteOptions{Log: testLogger(t)})
 	dist, err := sched.Run(context.Background(), req, sched.Options{Workers: 4, Executor: remote})
 	if err != nil {
 		t.Fatal(err)
@@ -201,7 +214,7 @@ func TestDistributedCancellationPropagates(t *testing.T) {
 		stuck.Close()
 	})
 
-	remote := sched.NewRemoteExecutor([]string{stuck.URL}, sched.RemoteOptions{Logf: t.Logf})
+	remote := sched.NewRemoteExecutor([]string{stuck.URL}, sched.RemoteOptions{Log: testLogger(t)})
 	colCfg := core.CollectConfig{
 		Variant: isa.Variant{ISA: isa.X8664()}, Threads: 2, Reps: 2,
 	}
@@ -247,7 +260,7 @@ func TestDistributedFingerprintMismatchFallsBack(t *testing.T) {
 	}
 
 	w := newTestWorker(t)
-	remote := sched.NewRemoteExecutor([]string{w.URL}, sched.RemoteOptions{Logf: t.Logf})
+	remote := sched.NewRemoteExecutor([]string{w.URL}, sched.RemoteOptions{Log: testLogger(t)})
 	dist, err := sched.Run(context.Background(), req, sched.Options{Workers: 2, Executor: remote})
 	if err != nil {
 		t.Fatal(err)
@@ -314,6 +327,119 @@ func TestDistributedServerEndToEnd(t *testing.T) {
 		if !strings.HasPrefix(wh.URL, "http://") {
 			t.Errorf("worker URL %q not normalised", wh.URL)
 		}
+	}
+}
+
+// TestDistributedTracePropagation asserts a two-worker study's trace
+// renders ONE seamless tree: each worker's span subtree (recv with
+// decode/compute/encode children) is grafted under the dispatch span
+// that sent the unit, with every grafted timestamp re-based into its
+// parent's window — no negative durations, no child escaping its
+// parent. It also exercises the /debug/events tail for the same job.
+func TestDistributedTracePropagation(t *testing.T) {
+	w1, w2 := newTestWorker(t), newTestWorker(t)
+	s := mustNew(t, Config{
+		Workers: 4, Executors: 1, QueueDepth: 8, CacheSize: 64,
+		WorkerURLs: []string{w1.URL, w2.URL},
+		Log:        testLogger(t),
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+
+	st := postStudy(t, ts, `{"app":"MCB","threads":2,"runs":3,"reps":3,"seed":41}`)
+	waitDone(t, ts, st.ID)
+
+	resp, err := http.Get(ts.URL + "/studies/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tr obs.Trace
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Spans) != 1 {
+		t.Fatalf("trace roots = %d, want one seamless tree", len(tr.Spans))
+	}
+
+	// Inside a dispatch span everything is grafted from the worker:
+	// containment must hold at every level after re-basing.
+	var checkGrafted func(parent *obs.SpanNode, ns []*obs.SpanNode)
+	checkGrafted = func(parent *obs.SpanNode, ns []*obs.SpanNode) {
+		for _, n := range ns {
+			if n.DurUS < 0 {
+				t.Errorf("grafted span %s has negative duration %dus", n.Name, n.DurUS)
+			}
+			if n.StartUS < parent.StartUS || n.StartUS+n.DurUS > parent.StartUS+parent.DurUS {
+				t.Errorf("grafted span %s [%d,%d]us escapes its parent %s [%d,%d]us",
+					n.Name, n.StartUS, n.StartUS+n.DurUS,
+					parent.Name, parent.StartUS, parent.StartUS+parent.DurUS)
+			}
+			checkGrafted(n, n.Children)
+		}
+	}
+	workerSpans := map[string]int{}
+	var walk func(ns []*obs.SpanNode)
+	walk = func(ns []*obs.SpanNode) {
+		for _, n := range ns {
+			if n.Name == "dispatch" {
+				if len(n.Children) == 0 {
+					t.Error("dispatch span has no grafted worker subtree")
+				}
+				for _, c := range n.Children {
+					if c.Name != "recv" {
+						t.Errorf("dispatch child = %q, want the worker's recv root", c.Name)
+					}
+				}
+				checkGrafted(n, n.Children)
+			}
+			workerSpans[n.Name]++
+			walk(n.Children)
+		}
+	}
+	walk(tr.Spans)
+	for _, name := range []string{"dispatch", "recv", "decode", "compute", "encode"} {
+		if workerSpans[name] == 0 {
+			t.Errorf("no %s spans in the merged trace", name)
+		}
+	}
+	if workerSpans["recv"] != workerSpans["dispatch"] {
+		t.Errorf("recv spans = %d, dispatch spans = %d; every dispatch should carry one worker subtree",
+			workerSpans["recv"], workerSpans["dispatch"])
+	}
+
+	// The same job's structured events are tailable over /debug/events.
+	eresp, err := http.Get(ts.URL + "/debug/events?job=" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	if eresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/events = %d", eresp.StatusCode)
+	}
+	if ct := eresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events content-type = %q", ct)
+	}
+	var transitions int
+	dec := json.NewDecoder(eresp.Body)
+	for dec.More() {
+		var ev obs.Event
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("bad event line: %v", err)
+		}
+		if ev.Job != st.ID {
+			t.Errorf("event for job %q leaked through the job filter: %+v", ev.Job, ev)
+		}
+		if ev.Msg == "study transition" {
+			transitions++
+		}
+	}
+	// queued -> running -> done.
+	if transitions < 3 {
+		t.Errorf("study transition events = %d, want at least 3", transitions)
 	}
 }
 

@@ -43,7 +43,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -279,9 +278,11 @@ type Config struct {
 	WorkerInflight int
 	// Now overrides the clock, for tests. Defaults to time.Now.
 	Now func() time.Time
-	// Logf sinks server diagnostics (e.g. response-encoding failures).
-	// Defaults to log.Printf.
-	Logf func(format string, args ...any)
+	// Log sinks server diagnostics (job transitions, dispatch failures,
+	// encoding errors) as structured events and backs the coordinator's
+	// GET /debug/events ring. Defaults to obs.DefaultLogger (JSONL on
+	// stderr).
+	Log *obs.Logger
 }
 
 // Submission sanity bounds. The paper's configurations are 10 runs and
@@ -305,7 +306,7 @@ type Server struct {
 	cache      *resultcache.Cache
 	remote     *sched.RemoteExecutor // nil in local mode
 	now        func() time.Time
-	logf       func(format string, args ...any)
+	log        *obs.Logger
 	defaultPri int
 
 	// Observability: the process-wide metric registry (served at
@@ -344,8 +345,8 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
+	if cfg.Log == nil {
+		cfg.Log = obs.DefaultLogger()
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -368,9 +369,10 @@ func New(cfg Config) (*Server, error) {
 			MaxEntries: cfg.CacheSize,
 			MaxBytes:   cfg.CacheBytes,
 			Store:      store,
+			Log:        cfg.Log,
 		}),
 		now:        cfg.Now,
-		logf:       cfg.Logf,
+		log:        cfg.Log,
 		defaultPri: cfg.DefaultPriority,
 		reg:        obs.NewRegistry(),
 		tracer:     obs.NewTracer(64, 4096),
@@ -402,7 +404,7 @@ func New(cfg Config) (*Server, error) {
 		s.remote = sched.NewRemoteExecutor(cfg.WorkerURLs, sched.RemoteOptions{
 			PerWorkerInflight: cfg.WorkerInflight,
 			Cache:             s.cache,
-			Logf:              cfg.Logf,
+			Log:               cfg.Log,
 			Registry:          s.reg,
 		})
 		s.opts.Executor = s.remote
@@ -429,30 +431,38 @@ func (s *Server) Close() {
 		s.markTerminal(j, StateCancelled, errServerClosed)
 	}
 	if err := s.cache.Close(); err != nil {
-		s.logf("service: closing cache store: %v", err)
+		s.log.Error(context.Background(), "cache store close failed", "err", err)
 	}
 }
 
-// noteTransition counts one job state transition and logs it as a single
-// structured line: study, state, app, priority, plus duration (start →
+// noteTransition counts one job state transition and logs it as one
+// structured event: study, state, app, priority, plus duration (start →
 // finish, or submit → finish for jobs that never started) and error on
 // terminal states.
 func (s *Server) noteTransition(j *job, st State) {
 	s.jobsTotal.With(string(st)).Inc()
 	snap := j.snapshot()
-	line := fmt.Sprintf("service: study=%s state=%s app=%s priority=%d",
-		snap.ID, st, snap.Request.App, snap.Priority)
+	kv := []any{
+		"job", snap.ID,
+		"state", string(st),
+		"app", snap.Request.App,
+		"priority", strconv.Itoa(snap.Priority),
+	}
 	if st.terminal() && snap.FinishedAt != nil {
 		from := snap.SubmittedAt
 		if snap.StartedAt != nil {
 			from = *snap.StartedAt
 		}
-		line += fmt.Sprintf(" duration=%s", snap.FinishedAt.Sub(from).Round(time.Millisecond))
+		kv = append(kv, "duration", snap.FinishedAt.Sub(from).Round(time.Millisecond))
 	}
+	level := obs.LevelInfo
 	if snap.Error != "" && (st == StateFailed || st == StateCancelled) {
-		line += fmt.Sprintf(" error=%q", snap.Error)
+		kv = append(kv, "error", snap.Error)
+		if st == StateFailed {
+			level = obs.LevelError
+		}
 	}
-	s.logf("%s", line)
+	s.log.Log(context.Background(), level, "study transition", kv...)
 }
 
 // markTerminal finishes the job and records the transition.
@@ -723,6 +733,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /studies/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.Handle("GET /debug/events", s.log.Handler())
 	return obs.InstrumentHandler(s.reg, "bp_http_request_seconds", mux)
 }
 
@@ -867,7 +878,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("format") == "jsonl" {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		if err := jt.WriteJSONL(w); err != nil {
-			s.logf("service: writing trace for %s: %v", id, err)
+			s.log.Error(r.Context(), "trace write failed", "job", id, "err", err)
 		}
 		return
 	}
@@ -904,8 +915,9 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
 		// The header is already out, so the client sees a truncated body;
-		// the log is the only place the cause survives.
-		s.logf("service: encoding %d response: %v", code, err)
+		// the event log is the only place the cause survives.
+		s.log.Error(context.Background(), "response encode failed",
+			"code", strconv.Itoa(code), "err", err)
 	}
 }
 

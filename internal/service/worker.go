@@ -1,12 +1,13 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -36,9 +37,17 @@ type WorkerConfig struct {
 	CacheDir string
 	// CacheMaxBytes bounds the persistent store on disk (0 = unbounded).
 	CacheMaxBytes int64
-	// Logf sinks worker diagnostics. Defaults to log.Printf.
-	Logf func(format string, args ...any)
+	// Log sinks worker diagnostics as structured events and backs the
+	// GET /debug/events ring. Defaults to obs.DefaultLogger (JSONL on
+	// stderr).
+	Log *obs.Logger
 }
+
+// workerTraceSpans bounds the per-unit span subtree a worker builds for
+// a traced request. Units are shallow trees (recv, decode, compute with
+// its cache/unit spans, encode), so a small ring is ample; anything
+// beyond it rings away oldest-first, same as coordinator traces.
+const workerTraceSpans = 512
 
 // WorkerHealth is the worker's GET /healthz body.
 type WorkerHealth struct {
@@ -66,7 +75,7 @@ type Worker struct {
 	cache    *resultcache.Cache
 	reg      *obs.Registry
 	sem      chan struct{}
-	logf     func(format string, args ...any)
+	log      *obs.Logger
 	start    time.Time
 	units    atomic.Uint64
 	unitErrs atomic.Uint64
@@ -80,8 +89,8 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = runtime.GOMAXPROCS(0)
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
+	if cfg.Log == nil {
+		cfg.Log = obs.DefaultLogger()
 	}
 	var store resultcache.Store
 	if cfg.CacheDir != "" {
@@ -95,6 +104,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		MaxEntries: cfg.CacheSize,
 		MaxBytes:   cfg.CacheBytes,
 		Store:      store,
+		Log:        cfg.Log,
 	})
 	reg := obs.NewRegistry()
 	w := &Worker{
@@ -106,7 +116,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		cache: cache,
 		reg:   reg,
 		sem:   make(chan struct{}, cfg.MaxInflight),
-		logf:  cfg.Logf,
+		log:   cfg.Log,
 		start: time.Now(),
 	}
 	// The protocol counters already live as atomics for /healthz; expose
@@ -139,6 +149,7 @@ func (w *Worker) Handler() http.Handler {
 	mux.HandleFunc("POST /units", w.handleUnit)
 	mux.HandleFunc("GET /healthz", w.handleHealth)
 	mux.Handle("GET /metrics", w.reg.Handler())
+	mux.Handle("GET /debug/events", w.log.Handler())
 	return obs.InstrumentHandler(w.reg, "bp_http_request_seconds", mux)
 }
 
@@ -151,6 +162,7 @@ func (w *Worker) Handler() http.Handler {
 // 429 means at capacity. The coordinator maps them to fall-back, fail,
 // and try-next-worker respectively.
 func (w *Worker) handleUnit(rw http.ResponseWriter, r *http.Request) {
+	recvStart := time.Now()
 	var req sched.UnitRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -159,10 +171,15 @@ func (w *Worker) handleUnit(rw http.ResponseWriter, r *http.Request) {
 		// a coordinator speaking a newer dialect (unknown fields), and a
 		// reject tells it to execute the unit itself instead of
 		// quarantining this healthy worker as a transport failure.
-		w.reject(rw, sched.StatusUnitRejected, fmt.Errorf("service: decoding unit request: %w", err))
+		err = fmt.Errorf("service: decoding unit request: %w", err)
+		w.log.Warn(r.Context(), "unit rejected", "err", err)
+		w.reject(rw, sched.StatusUnitRejected, err)
 		return
 	}
+	decoded := time.Now()
 	if _, err := apps.ByName(req.App); err != nil {
+		w.log.Warn(r.Context(), "unit rejected",
+			"job", jobOf(&req), "kind", string(req.Kind), "err", err)
 		w.reject(rw, sched.StatusUnitRejected, err)
 		return
 	}
@@ -175,36 +192,83 @@ func (w *Worker) handleUnit(rw http.ResponseWriter, r *http.Request) {
 	}
 	defer func() { <-w.sem }()
 
+	// A traced request gets its own span subtree, rooted at a recv span
+	// that retroactively covers the decode above (the worker only learns
+	// the unit is traced once it has decoded it). The completed records
+	// travel back in the response for the coordinator to graft; offsets
+	// are against this process's own epoch and get re-based there.
+	var jt *obs.JobTrace
+	var root *obs.Span
+	ctx := r.Context()
+	if tc := req.Trace; tc != nil {
+		jt = obs.NewJobTrace(tc.Job, workerTraceSpans)
+		root = jt.RootAt("recv", recvStart)
+		root.SetAttr("kind", string(req.Kind))
+		// Advisory only — the difference between this worker's wall clock
+		// and the coordinator's dispatch timestamp mixes skew with real
+		// transport latency, so it is surfaced as an attribute, never used
+		// for re-basing.
+		root.SetAttr("lag_us", strconv.FormatInt(recvStart.UnixMicro()-(tc.EpochUS+tc.StartUS), 10))
+		root.ChildAt("decode", recvStart, decoded)
+	}
+	defer root.End()
+
 	// The client disconnecting cancels r.Context(), which stops the unit
 	// at its next internal boundary; the artifact of a unit that
 	// completes anyway still lands in the cache for the retry.
-	v, err := w.exec.ExecuteUnit(r.Context(), req)
+	compute := root.Child("compute")
+	v, err := w.exec.ExecuteUnit(obs.ContextWithSpan(ctx, compute), req)
+	compute.End()
 	if err != nil {
 		switch {
 		case errors.Is(err, sched.ErrFingerprintMismatch), errors.Is(err, sched.ErrBadUnit):
 			// Requests this binary can never serve — wrong program, or a
 			// dialect it does not speak (e.g. a newer coordinator's unit
 			// kind). The coordinator can still execute them itself.
+			w.log.Warn(ctx, "unit rejected",
+				"job", jobOf(&req), "kind", string(req.Kind), "err", err)
 			w.reject(rw, sched.StatusUnitRejected, err)
-		case r.Context().Err() != nil:
+		case ctx.Err() != nil:
 			// The requester is gone; nothing useful can be written, and a
 			// routine cancellation is neither a rejection nor a failure —
 			// operators alert on those counters.
 		default:
 			w.unitErrs.Add(1)
+			w.log.Error(ctx, "unit failed",
+				"job", jobOf(&req), "kind", string(req.Kind), "err", err)
 			w.writeJSON(rw, sched.StatusUnitFailed, unitErrorBody{Error: err.Error()})
 		}
 		return
 	}
+	enc := root.Child("encode")
 	codec, data, err := cachestore.Encode(v)
 	if err != nil {
+		enc.End()
 		w.unitErrs.Add(1)
+		w.log.Error(ctx, "unit artifact serialisation failed",
+			"job", jobOf(&req), "kind", string(req.Kind), "err", err)
 		w.writeJSON(rw, http.StatusInternalServerError,
 			unitErrorBody{Error: fmt.Sprintf("service: serialising %s artifact: %v", req.Kind, err)})
 		return
 	}
+	enc.End()
+	resp := sched.UnitResponse{Codec: codec, Data: data}
+	if jt != nil {
+		// End the recv root before export so the subtree the coordinator
+		// grafts is complete; the deferred End above is then a no-op.
+		resp.Spans = root.EndExport()
+	}
 	w.units.Add(1)
-	w.writeJSON(rw, http.StatusOK, sched.UnitResponse{Codec: codec, Data: data})
+	w.writeJSON(rw, http.StatusOK, resp)
+}
+
+// jobOf names the job a traced unit belongs to, for event correlation
+// ("" for untraced units — the logger drops empty job values).
+func jobOf(req *sched.UnitRequest) string {
+	if req.Trace != nil {
+		return req.Trace.Job
+	}
+	return ""
 }
 
 func (w *Worker) handleHealth(rw http.ResponseWriter, r *http.Request) {
@@ -235,6 +299,7 @@ func (w *Worker) writeJSON(rw http.ResponseWriter, code int, v any) {
 	rw.Header().Set("Content-Type", "application/json")
 	rw.WriteHeader(code)
 	if err := json.NewEncoder(rw).Encode(v); err != nil {
-		w.logf("service: encoding %d unit response: %v", code, err)
+		w.log.Error(context.Background(), "unit response encode failed",
+			"code", strconv.Itoa(code), "err", err)
 	}
 }
