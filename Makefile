@@ -2,20 +2,27 @@ GO ?= go
 
 # BENCHTIME scales the bench-json micro-benchmarks; ci overrides it to 1x
 # so the harness is smoke-tested without paying for stable numbers.
+# PIPELINE_BENCHTIME scales the end-to-end discovery benchmark
+# separately: at over a second per op, the default -benchtime 1s runs it
+# for exactly one iteration, so the recorded number carries first-run
+# noise (pool/page-cache warm-up). 5x keeps the recording honest without
+# making bench-json take minutes.
 # BENCH_OUT is where bench-json writes its JSON; the ci smoke discards it
 # so a ci run never clobbers the committed performance trajectory.
 BENCHTIME ?= 1s
+PIPELINE_BENCHTIME ?= 5x
 BENCH_OUT ?= BENCH_pipeline.json
 
 .PHONY: ci fmt-check vet lint lint-smoke build test-short test test-race \
-	test-persist test-dist test-obs bench bench-json bench-json-smoke
+	test-persist test-dist test-obs test-purego bench bench-json \
+	bench-json-smoke bench-diff
 
 # ci is the tier-1 gate: formatting, static checks (go vet plus the
 # project's own bpvet analyzers), build, fast tests, the race detector
 # over the whole tree, the persistence suite, the distributed-execution
-# suite, the observability suite, and a 1x smoke of the bench-json
-# harness so it cannot bit-rot.
-ci: fmt-check vet lint build test-short test-race test-persist test-dist test-obs bench-json-smoke
+# suite, the observability suite, the scalar-fallback kernel leg, and a
+# 1x smoke of the bench-json harness so it cannot bit-rot.
+ci: fmt-check vet lint build test-short test-race test-persist test-dist test-obs test-purego bench-json-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -91,6 +98,16 @@ test-obs:
 	$(GO) test -race -run 'MetricsEndToEnd|TraceEndToEnd|InlineCollections|DistributedTracePropagation' \
 		./internal/sched/... ./internal/service/...
 
+# test-purego proves the scalar projection fallback stays healthy on both
+# of its paths: the purego build tag compiles the SIMD kernels out
+# entirely, and BP_PUREGO=1 exercises the runtime override on the normal
+# build (internal/cpu's TestPuregoOverride only bites under it). -count=1
+# defeats test caching, which would otherwise replay results recorded
+# without the env var.
+test-purego:
+	$(GO) test -tags purego -count=1 ./internal/cpu/ ./internal/sigvec/ ./internal/core/
+	BP_PUREGO=1 $(GO) test -count=1 ./internal/cpu/ ./internal/sigvec/
+
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
@@ -98,16 +115,29 @@ bench:
 # mem/pin/sigvec micro-benchmarks plus end-to-end discovery, parsed into
 # BENCH_pipeline.json (fails if any benchmark fails or produces no
 # results). Each invocation APPENDS a run entry to the trajectory, so the
-# history across PRs is preserved; see cmd/benchjson.
+# history across PRs is preserved; see cmd/benchjson. The end-to-end
+# discovery benchmark runs in its own invocation at PIPELINE_BENCHTIME
+# iterations (see the variable's comment); if either invocation fails,
+# benchjson sees the FAIL line and refuses to record.
 bench-json:
-	$(GO) test -run '^$$' -benchmem -benchtime $(BENCHTIME) \
-		-bench 'StackDist|^BenchmarkStream|BuildReference|BuilderSparse|BuilderDense|DiscoveryPipeline' \
-		./internal/mem ./internal/pin ./internal/sigvec . \
+	{ $(GO) test -run '^$$' -benchmem -benchtime $(BENCHTIME) \
+		-bench 'StackDist|^BenchmarkStream|BuildReference|BuilderSparse|BuilderDense' \
+		./internal/mem ./internal/pin ./internal/sigvec; \
+	  $(GO) test -run '^$$' -benchmem -benchtime $(PIPELINE_BENCHTIME) \
+		-bench 'DiscoveryPipeline' .; } \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
 # bench-json-smoke is the ci wiring: one iteration per benchmark, just to
 # prove the harness and the JSON emitter stay healthy; the output is
 # discarded rather than overwriting the recorded trajectory.
 bench-json-smoke: BENCHTIME = 1x
+bench-json-smoke: PIPELINE_BENCHTIME = 1x
 bench-json-smoke: BENCH_OUT = /dev/null
 bench-json-smoke: bench-json
+
+# bench-diff compares the two newest runs of the recorded trajectory and
+# fails on regressions (>10% ns/op on the same CPU, or any allocation on
+# a benchmark the previous run pinned at zero allocs). Run bench-json
+# first to record the candidate run.
+bench-diff:
+	$(GO) run ./cmd/benchjson -diff $(BENCH_OUT)

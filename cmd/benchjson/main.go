@@ -14,6 +14,13 @@
 // consumed; everything else — PASS, ok, warm-up output — is ignored, and
 // failing input (no benchmark lines, or a FAIL line) exits non-zero so CI
 // wiring cannot silently record an empty trajectory.
+//
+// -diff compares the trajectory's newest run against the one before it
+// (`benchjson -diff BENCH_pipeline.json`), printing per-benchmark deltas
+// and exiting non-zero on regressions: ns/op more than 10% slower (only
+// when both runs report the same CPU — wall-clock numbers from different
+// machines are not comparable), or any allocs/op increase on a benchmark
+// the previous run pinned at zero allocations.
 package main
 
 import (
@@ -101,7 +108,26 @@ func loadTrajectory(path string) (Trajectory, error) {
 func main() {
 	out := flag.String("out", "", "trajectory file to append the run to (default: write the single run to stdout)")
 	label := flag.String("label", "", "label for this run (e.g. a commit hash)")
+	diffPath := flag.String("diff", "", "compare the trajectory file's latest run against its previous run and exit non-zero on regressions (ignores stdin)")
 	flag.Parse()
+
+	if *diffPath != "" {
+		tr, err := loadTrajectory(*diffPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		report, flagged, err := diff(tr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(report)
+		if flagged {
+			os.Exit(1)
+		}
+		return
+	}
 
 	doc, failed, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -181,6 +207,92 @@ func writeTrajectory(path string, tr Trajectory) error {
 		return err
 	}
 	return os.Rename(tmp.Name(), path)
+}
+
+// nsRegressionPct is the ns/op slowdown (in percent) beyond which -diff
+// flags a benchmark. Wall-clock numbers are only comparable on one
+// machine, so the threshold is suppressed entirely when the two runs
+// report different CPU strings; allocation counts are deterministic and
+// compared unconditionally.
+const nsRegressionPct = 10.0
+
+// benchKey identifies one benchmark across trajectory runs.
+type benchKey struct{ pkg, name string }
+
+// diff compares the trajectory's newest run against the one before it and
+// renders a per-benchmark delta table. It returns flagged=true when the
+// latest run regressed: ns/op more than nsRegressionPct slower (same-CPU
+// runs only), or any allocs/op increase on a benchmark the previous run
+// pinned at zero allocations.
+func diff(tr Trajectory) (report string, flagged bool, err error) {
+	if len(tr.Runs) < 2 {
+		return "", false, fmt.Errorf("trajectory has %d run(s); -diff needs at least 2", len(tr.Runs))
+	}
+	prev, cur := tr.Runs[len(tr.Runs)-2], tr.Runs[len(tr.Runs)-1]
+	prevBy := make(map[benchKey]Result, len(prev.Benchmarks))
+	for _, r := range prev.Benchmarks {
+		prevBy[benchKey{r.Package, r.Name}] = r
+	}
+	sameCPU := prev.CPU == cur.CPU
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchjson diff: run %d (%s) vs run %d (%s)\n",
+		len(tr.Runs)-1, runTag(prev), len(tr.Runs), runTag(cur))
+	if !sameCPU {
+		fmt.Fprintf(&b, "  CPUs differ (%q vs %q): ns/op regressions not flagged\n", prev.CPU, cur.CPU)
+	}
+	for _, r := range cur.Benchmarks {
+		p, ok := prevBy[benchKey{r.Package, r.Name}]
+		if !ok {
+			fmt.Fprintf(&b, "  %-40s new benchmark\n", r.Name)
+			continue
+		}
+		delete(prevBy, benchKey{r.Package, r.Name})
+		line := fmt.Sprintf("  %-40s ns/op %12.0f -> %12.0f (%+.1f%%)",
+			r.Name, p.NsPerOp, r.NsPerOp, pctDelta(p.NsPerOp, r.NsPerOp))
+		var marks []string
+		if sameCPU && pctDelta(p.NsPerOp, r.NsPerOp) > nsRegressionPct {
+			flagged = true
+			marks = append(marks, fmt.Sprintf("REGRESSION: ns/op up >%g%%", nsRegressionPct))
+		}
+		if p.AllocsPerOp != nil && r.AllocsPerOp != nil {
+			line += fmt.Sprintf("  allocs/op %.0f -> %.0f", *p.AllocsPerOp, *r.AllocsPerOp)
+			if *p.AllocsPerOp == 0 && *r.AllocsPerOp > 0 {
+				flagged = true
+				marks = append(marks, "REGRESSION: zero-alloc benchmark now allocates")
+			}
+		}
+		b.WriteString(line)
+		for _, m := range marks {
+			b.WriteString("  [" + m + "]")
+		}
+		b.WriteByte('\n')
+	}
+	for k := range prevBy {
+		fmt.Fprintf(&b, "  %-40s dropped (present in previous run only)\n", k.name)
+	}
+	return b.String(), flagged, nil
+}
+
+// pctDelta returns the percentage change from prev to cur.
+func pctDelta(prev, cur float64) float64 {
+	if prev == 0 {
+		return 0
+	}
+	return (cur - prev) / prev * 100
+}
+
+// runTag renders a run's most specific identifier for the diff header.
+func runTag(d Document) string {
+	switch {
+	case d.Label != "":
+		return d.Label
+	case d.Commit != "":
+		return d.Commit
+	case d.RecordedAt != "":
+		return d.RecordedAt
+	}
+	return "unlabelled"
 }
 
 func parse(sc *bufio.Scanner) (Document, bool, error) {

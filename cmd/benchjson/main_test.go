@@ -112,6 +112,112 @@ func TestLoadTrajectory(t *testing.T) {
 	}
 }
 
+// fp returns a *float64 literal for building Result fixtures.
+func fp(v float64) *float64 { return &v }
+
+// run builds a one-CPU trajectory entry over the given benchmarks.
+func run(cpu string, benchmarks ...Result) Document {
+	return Document{CPU: cpu, Benchmarks: benchmarks}
+}
+
+func TestDiffNeedsTwoRuns(t *testing.T) {
+	if _, _, err := diff(Trajectory{Runs: []Document{run("c")}}); err == nil {
+		t.Error("single-run trajectory must error")
+	}
+}
+
+// TestDiffFlagsNsRegression: >10% ns/op slowdown on the same CPU is
+// flagged; an improvement and a within-threshold change are not.
+func TestDiffFlagsNsRegression(t *testing.T) {
+	tr := Trajectory{Runs: []Document{
+		run("cpu0",
+			Result{Name: "BenchmarkSlow", NsPerOp: 100},
+			Result{Name: "BenchmarkOK", NsPerOp: 100},
+			Result{Name: "BenchmarkFast", NsPerOp: 100}),
+		run("cpu0",
+			Result{Name: "BenchmarkSlow", NsPerOp: 111},
+			Result{Name: "BenchmarkOK", NsPerOp: 109},
+			Result{Name: "BenchmarkFast", NsPerOp: 50}),
+	}}
+	report, flagged, err := diff(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flagged {
+		t.Error("11% ns/op regression not flagged")
+	}
+	if !strings.Contains(report, "BenchmarkSlow") || strings.Count(report, "REGRESSION") != 1 {
+		t.Errorf("report flags the wrong benchmarks:\n%s", report)
+	}
+}
+
+// TestDiffSuppressesNsAcrossCPUs: wall-clock comparisons across different
+// machines are meaningless, so a huge ns/op delta with differing CPU
+// strings is reported but not flagged — while an alloc regression in the
+// same pair still is.
+func TestDiffSuppressesNsAcrossCPUs(t *testing.T) {
+	tr := Trajectory{Runs: []Document{
+		run("cpu0", Result{Name: "BenchmarkX", NsPerOp: 100, AllocsPerOp: fp(0)}),
+		run("cpu1", Result{Name: "BenchmarkX", NsPerOp: 900, AllocsPerOp: fp(0)}),
+	}}
+	report, flagged, err := diff(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flagged {
+		t.Errorf("cross-CPU ns delta flagged:\n%s", report)
+	}
+
+	tr.Runs[1].Benchmarks[0].AllocsPerOp = fp(3)
+	report, flagged, err = diff(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flagged || !strings.Contains(report, "now allocates") {
+		t.Errorf("alloc regression must be flagged even across CPUs:\n%s", report)
+	}
+}
+
+// TestDiffFlagsZeroAllocRegression: any allocs/op increase on a
+// previously zero-alloc benchmark is flagged; a nonzero->bigger change is
+// reported but not flagged (the pinned contract is zero, not monotone).
+func TestDiffFlagsZeroAllocRegression(t *testing.T) {
+	tr := Trajectory{Runs: []Document{
+		run("cpu0",
+			Result{Name: "BenchmarkPinned", NsPerOp: 10, AllocsPerOp: fp(0)},
+			Result{Name: "BenchmarkLoose", NsPerOp: 10, AllocsPerOp: fp(5)}),
+		run("cpu0",
+			Result{Name: "BenchmarkPinned", NsPerOp: 10, AllocsPerOp: fp(1)},
+			Result{Name: "BenchmarkLoose", NsPerOp: 10, AllocsPerOp: fp(9)}),
+	}}
+	report, flagged, err := diff(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flagged || strings.Count(report, "REGRESSION") != 1 || !strings.Contains(report, "BenchmarkPinned") {
+		t.Errorf("zero-alloc pin not enforced correctly:\n%s", report)
+	}
+}
+
+// TestDiffNewAndDroppedBenchmarks: additions and removals are reported
+// informationally, never flagged.
+func TestDiffNewAndDroppedBenchmarks(t *testing.T) {
+	tr := Trajectory{Runs: []Document{
+		run("cpu0", Result{Name: "BenchmarkOld", NsPerOp: 10}),
+		run("cpu0", Result{Name: "BenchmarkNew", NsPerOp: 10}),
+	}}
+	report, flagged, err := diff(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flagged {
+		t.Errorf("membership change flagged:\n%s", report)
+	}
+	if !strings.Contains(report, "new benchmark") || !strings.Contains(report, "dropped") {
+		t.Errorf("membership change not reported:\n%s", report)
+	}
+}
+
 // TestWriteTrajectoryRoundTrip: the atomic write lands a loadable file
 // and leaves no temp litter behind.
 func TestWriteTrajectoryRoundTrip(t *testing.T) {

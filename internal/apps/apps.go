@@ -14,6 +14,7 @@ package apps
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"barrierpoint/internal/core"
 	"barrierpoint/internal/isa"
@@ -47,8 +48,47 @@ func register(a *App) *App {
 	if _, dup := registry[a.Name]; dup {
 		panic(fmt.Sprintf("apps: duplicate registration of %q", a.Name))
 	}
+	a.Build = cachedBuilder(a.Name, a.Build)
 	registry[a.Name] = a
 	return a
+}
+
+// cachedBuilder wraps an app's builder with a process-wide program cache.
+// App models are pure functions of (threads, variant), and programs are
+// immutable once finalised (omp.Run and every instrumentation layer only
+// read them), so rebuilding one for every discovery run, replay, and
+// scheduler work unit of a study is pure waste — the synthetic HPC models
+// allocate tens of thousands of region structures per build.
+func cachedBuilder(name string, build core.ProgramBuilder) core.ProgramBuilder {
+	type key struct {
+		threads    int
+		isaName    string
+		vectorised bool
+	}
+	var (
+		mu    sync.Mutex
+		cache = map[key]*trace.Program{}
+	)
+	return func(threads int, v isa.Variant) (*trace.Program, error) {
+		k := key{threads: threads, vectorised: v.Vectorised}
+		if v.ISA != nil {
+			k.isaName = v.ISA.Name
+		}
+		mu.Lock()
+		p, ok := cache[k]
+		mu.Unlock()
+		if ok {
+			return p, nil
+		}
+		p, err := build(threads, v)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		cache[k] = p
+		mu.Unlock()
+		return p, nil
+	}
 }
 
 // All returns every app in Table I order.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"barrierpoint/internal/isa"
 	"barrierpoint/internal/machine"
@@ -9,6 +10,7 @@ import (
 	"barrierpoint/internal/pin"
 	"barrierpoint/internal/sigvec"
 	"barrierpoint/internal/simpoint"
+	"barrierpoint/internal/trace"
 	"barrierpoint/internal/xrand"
 )
 
@@ -58,18 +60,45 @@ func (cfg DiscoveryConfig) WithDefaults() DiscoveryConfig {
 }
 
 // LDVBaseline carries the canonical (unjittered) run's per-barrier-point
-// binned LRU-stack distance vectors. Schedule jitter perturbs how trips
-// split across threads (and therefore the BBVs) but not the per-region
-// data footprint, and LDV collection is by far the most expensive part of
+// LDV contribution. Schedule jitter perturbs how trips split across
+// threads (and therefore the BBVs) but not the per-region data footprint,
+// and LDV collection is by far the most expensive part of
 // instrumentation, so jittered re-runs reuse the baseline's LDVs. The
 // type is immutable after DiscoverBaseline returns, so any number of
 // jittered runs may consume it concurrently.
+//
+// The baseline stores the rows already projected: every run of a study
+// builds signatures with the same sigvec options and seed, so the
+// canonical run's projected LDV half is, bit for bit, what a jittered run
+// would compute by re-projecting the raw binned LDV — at dim floats per
+// point instead of bins×threads, with no per-point projection work on the
+// jittered runs. (The raw rows are kept only on the legacy golden path,
+// which re-projects through the allocating sigvec.Build.)
 type LDVBaseline struct {
-	perPoint [][]float64
+	n    int
+	dim  int       // floats per projected row (0 when the signature has no LDV component)
+	proj []float64 // n×dim, row i at [i*dim:(i+1)*dim]
+	raw  [][]float64
 }
 
 // NumPoints returns how many barrier points the canonical run observed.
-func (b *LDVBaseline) NumPoints() int { return len(b.perPoint) }
+func (b *LDVBaseline) NumPoints() int { return b.n }
+
+// addPoint records the canonical run's next barrier point: its projected
+// LDV half (copied) and, when keepRaw, the raw binned LDV.
+func (b *LDVBaseline) addPoint(projRow []float64, raw []float64, keepRaw bool) {
+	if b.n == 0 {
+		b.dim = len(projRow)
+	}
+	b.proj = append(b.proj, projRow...)
+	if keepRaw {
+		b.raw = append(b.raw, append([]float64(nil), raw...))
+	}
+	b.n++
+}
+
+// projRow returns point i's projected LDV half.
+func (b *LDVBaseline) projRow(i int) []float64 { return b.proj[i*b.dim : (i+1)*b.dim] }
 
 // discoverySetup validates the configuration and resolves the shared
 // per-run parameters. Every discovery entry point goes through it so the
@@ -103,6 +132,64 @@ func discoverySetup(cfg DiscoveryConfig) (isa.Variant, *machine.Machine, sigvec.
 // only set by tests in this package.
 var legacySignaturePath = false
 
+// discoverArena is the reusable per-run working set of discoverRun: the
+// signature-vector storage, the point/weight lists handed to clustering,
+// and the sigvec.Builder with its cached projection rows. Everything in
+// it is dead once discoverRun returns (clustering results copy what they
+// keep), so runs draw arenas from a pool — concurrent runs each hold
+// their own — and the steady-state discovery loop allocates nothing here.
+type discoverArena struct {
+	// Vector storage, carved dims floats at a time out of fixed blocks.
+	// Blocks are never resized once allocated, so handed-out vectors keep
+	// stable backing across the whole run; reset just rewinds the cursor
+	// (every vector cell is overwritten before use by the builder).
+	blocks    [][]float64
+	cur, used int
+
+	points  []simpoint.Point
+	weights []float64
+
+	builder     *sigvec.Builder
+	builderOpts sigvec.Options
+}
+
+var discoverArenaPool = sync.Pool{New: func() any { return new(discoverArena) }}
+
+func (a *discoverArena) reset() {
+	a.cur, a.used = 0, 0
+	a.points = a.points[:0]
+	a.weights = a.weights[:0]
+}
+
+// vec hands out the next dims-float vector from the arena's blocks.
+func (a *discoverArena) vec(dims int) []float64 {
+	for {
+		if a.cur < len(a.blocks) {
+			if b := a.blocks[a.cur]; a.used+dims <= len(b) {
+				v := b[a.used : a.used+dims : a.used+dims]
+				a.used += dims
+				return v
+			}
+			a.cur++
+			a.used = 0
+			continue
+		}
+		a.blocks = append(a.blocks, make([]float64, 256*dims))
+		a.cur = len(a.blocks) - 1
+		a.used = 0
+	}
+}
+
+// builderFor returns the arena's Builder for opts, reusing the cached
+// projection rows when the options match the previous run's.
+func (a *discoverArena) builderFor(opts sigvec.Options) *sigvec.Builder {
+	if a.builder == nil || a.builderOpts != opts {
+		a.builder = sigvec.NewBuilder(opts)
+		a.builderOpts = opts
+	}
+	return a.builder
+}
+
 // discoverRun executes one instrumented discovery run and clusters it.
 // Run 0 is the canonical run: it collects LDVs and returns them as the
 // baseline for the jittered runs. Runs ≥ 1 reuse the supplied baseline.
@@ -135,32 +222,44 @@ func discoverRun(build ProgramBuilder, cfg DiscoveryConfig, run int, base *LDVBa
 		pinOpts.SkipLDV = true
 	}
 
+	// One reusable Builder serves every barrier point of the run, and the
+	// signature vectors themselves come from the pooled arena — both are
+	// dead once clustering returns, so the steady-state per-point cost is
+	// the projection arithmetic alone. Jittered runs (run > 0) copy the
+	// canonical run's already-projected LDV rows under the streamed sparse
+	// BBV instead of re-projecting the dense baseline.
+	arena := discoverArenaPool.Get().(*discoverArena)
+	arena.reset()
+	defer discoverArenaPool.Put(arena)
+	builder := arena.builderFor(opts)
+	dims := builder.Dims()
+	// The projected LDV half sits after the BBV half (or is the whole
+	// vector in the LDV-only ablation). opts.Dim is always explicit here:
+	// discoverySetup resolves it from the defaulted cfg.SigDim.
+	ldvOff, ldvDim := 0, 0
+	if opts.UseLDV {
+		ldvDim = opts.Dim
+		if opts.UseBBV {
+			ldvOff = opts.Dim
+		}
+	}
 	var newBase *LDVBaseline
 	if run == 0 {
-		newBase = &LDVBaseline{}
+		// Presize the projected-row storage: the canonical run observes
+		// exactly one barrier point per region execution.
+		newBase = &LDVBaseline{proj: make([]float64, 0, len(prog.Regions)*ldvDim)}
 	}
-	// One reusable Builder serves every barrier point of the run: the only
-	// per-point allocation left is the signature vector itself, which the
-	// clustering owns. Jittered runs (run > 0) substitute the canonical
-	// run's dense LDV baseline under the streamed sparse BBV.
-	builder := sigvec.NewBuilder(opts)
-	var zeroLDV []float64 // for points past the canonical run's horizon
-	var points []simpoint.Point
-	var weights []float64
 	err = pin.Stream(prog, runCfg, pinOpts, func(s pin.Signature) {
-		if run == 0 {
-			newBase.perPoint = append(newBase.perPoint, append([]float64(nil), s.LDV...))
-		}
 		var vec []float64
 		if !legacySignaturePath {
-			vec = make([]float64, builder.Dims())
+			vec = arena.vec(dims)
 		}
 		switch {
 		case legacySignaturePath:
 			ldv := s.LDV
 			if run > 0 && opts.UseLDV {
-				if s.Index < len(base.perPoint) {
-					ldv = base.perPoint[s.Index]
+				if s.Index < len(base.raw) {
+					ldv = base.raw[s.Index]
 				} else {
 					ldv = make([]float64, pin.NumDistBins*cfg.Threads)
 				}
@@ -170,23 +269,27 @@ func discoverRun(build ProgramBuilder, cfg DiscoveryConfig, run int, base *LDVBa
 			builder.BuildSparseInto(vec,
 				s.BBVSparse.Idx, s.BBVSparse.Val, s.LDVSparse.Idx, s.LDVSparse.Val)
 		case opts.UseLDV:
-			ldv := zeroLDV
-			if s.Index < len(base.perPoint) {
-				ldv = base.perPoint[s.Index]
-			} else if ldv == nil {
-				zeroLDV = make([]float64, pin.NumDistBins*cfg.Threads)
-				ldv = zeroLDV
+			// The sparse build zeroes the LDV half (bit-identical to
+			// projecting an all-zero LDV, the past-the-horizon case);
+			// points the canonical run saw overwrite it with its
+			// projected row.
+			builder.BuildSparseInto(vec, s.BBVSparse.Idx, s.BBVSparse.Val, nil, nil)
+			if s.Index < base.n {
+				copy(vec[ldvOff:ldvOff+ldvDim], base.projRow(s.Index))
 			}
-			builder.BuildSparseDenseInto(vec, s.BBVSparse.Idx, s.BBVSparse.Val, ldv)
 		default:
 			builder.BuildSparseInto(vec, s.BBVSparse.Idx, s.BBVSparse.Val, nil, nil)
 		}
-		points = append(points, simpoint.Point{Vec: vec, Weight: s.Instructions})
-		weights = append(weights, s.Instructions)
+		if run == 0 {
+			newBase.addPoint(vec[ldvOff:ldvOff+ldvDim], s.LDV, legacySignaturePath)
+		}
+		arena.points = append(arena.points, simpoint.Point{Vec: vec, Weight: s.Instructions})
+		arena.weights = append(arena.weights, s.Instructions)
 	})
 	if err != nil {
 		return BarrierPointSet{}, nil, fmt.Errorf("core: discovery run %d: %w", run, err)
 	}
+	points, weights := arena.points, arena.weights
 
 	spCfg := simpoint.DefaultConfig(xrand.Derive(cfg.Seed, fmt.Sprintf("kmeans-%d", run)).Uint64())
 	spCfg.MaxK = maxK
@@ -253,6 +356,7 @@ func DiscoverJittered(build ProgramBuilder, cfg DiscoveryConfig, run int, base *
 // concurrently with byte-identical results.
 func Discover(build ProgramBuilder, cfg DiscoveryConfig) ([]BarrierPointSet, error) {
 	cfg = cfg.WithDefaults()
+	build = memoizeBuilder(build)
 	sets := make([]BarrierPointSet, 0, cfg.Runs)
 	set, base, err := DiscoverBaseline(build, cfg)
 	if err != nil {
@@ -267,6 +371,31 @@ func Discover(build ProgramBuilder, cfg DiscoveryConfig) ([]BarrierPointSet, err
 		sets = append(sets, set)
 	}
 	return sets, nil
+}
+
+// memoizeBuilder wraps a ProgramBuilder so repeated runs of one serial
+// Discover share the built program: builders are deterministic in
+// (threads, variant) and the runtime never mutates a program, so every
+// run would otherwise rebuild an identical structure. Not safe for
+// concurrent use — the scheduler path manages its own program sharing.
+func memoizeBuilder(build ProgramBuilder) ProgramBuilder {
+	type key struct {
+		threads int
+		variant isa.Variant
+	}
+	cache := make(map[key]*trace.Program)
+	return func(threads int, v isa.Variant) (*trace.Program, error) {
+		k := key{threads, v}
+		if p, ok := cache[k]; ok {
+			return p, nil
+		}
+		p, err := build(threads, v)
+		if err != nil {
+			return nil, err
+		}
+		cache[k] = p
+		return p, nil
+	}
 }
 
 // sortSelected orders representatives by execution index (insertion sort;

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/gob"
+	"fmt"
 )
 
 // This file makes the study artifacts gob-serialisable so the persistent
@@ -10,15 +11,20 @@ import (
 // help: LDVBaseline keeps its data in an unexported field, and
 // SetEvaluation carries an error value, which gob cannot encode.
 
-// ldvBaselineGob is the wire shape of an LDVBaseline.
+// ldvBaselineGob is the wire shape of an LDVBaseline: the projected rows
+// only. The raw binned LDVs exist solely on the in-process legacy golden
+// path and are never persisted. (This shape replaced the raw-row wire
+// format; the cache codec name carries the version bump, so old disk
+// entries are simply recomputed.)
 type ldvBaselineGob struct {
-	PerPoint [][]float64
+	N, Dim int
+	Proj   []float64
 }
 
 // GobEncode implements gob.GobEncoder.
 func (b LDVBaseline) GobEncode() ([]byte, error) {
 	var buf bytes.Buffer
-	err := gob.NewEncoder(&buf).Encode(ldvBaselineGob{PerPoint: b.perPoint})
+	err := gob.NewEncoder(&buf).Encode(ldvBaselineGob{N: b.n, Dim: b.dim, Proj: b.proj})
 	return buf.Bytes(), err
 }
 
@@ -28,7 +34,10 @@ func (b *LDVBaseline) GobDecode(data []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
 		return err
 	}
-	b.perPoint = w.PerPoint
+	if w.N*w.Dim != len(w.Proj) {
+		return fmt.Errorf("core: LDV baseline wire data claims %d×%d rows but carries %d floats", w.N, w.Dim, len(w.Proj))
+	}
+	*b = LDVBaseline{n: w.N, dim: w.Dim, proj: w.Proj}
 	return nil
 }
 

@@ -21,16 +21,35 @@ func gobRoundTrip(t *testing.T, in, out any) {
 }
 
 func TestLDVBaselineGobRoundTrip(t *testing.T) {
-	// No empty inner slices: gob decodes them as nil, and real baselines
-	// always carry at least one binned distance per point.
-	in := &LDVBaseline{perPoint: [][]float64{{1, 2, 3}, {4.5}, {0, 6}}}
+	in := &LDVBaseline{n: 3, dim: 2, proj: []float64{1, 2, 3, 4.5, 0, 6}}
 	var out LDVBaseline
 	gobRoundTrip(t, in, &out)
-	if !reflect.DeepEqual(in.perPoint, out.perPoint) {
-		t.Errorf("perPoint = %v, want %v", out.perPoint, in.perPoint)
+	if !reflect.DeepEqual(in.proj, out.proj) || out.dim != in.dim {
+		t.Errorf("decoded %+v, want %+v", out, *in)
 	}
 	if out.NumPoints() != 3 {
 		t.Errorf("NumPoints = %d, want 3", out.NumPoints())
+	}
+	for i := 0; i < 3; i++ {
+		if !reflect.DeepEqual(out.projRow(i), in.projRow(i)) {
+			t.Errorf("projRow(%d) = %v, want %v", i, out.projRow(i), in.projRow(i))
+		}
+	}
+	// Raw rows are the legacy golden path's in-process state and must not
+	// survive the wire.
+	in.raw = [][]float64{{9, 9}}
+	var out2 LDVBaseline
+	gobRoundTrip(t, in, &out2)
+	if out2.raw != nil {
+		t.Error("raw rows leaked through gob")
+	}
+	// Inconsistent wire data must be rejected.
+	bad, err := LDVBaseline{n: 2, dim: 3, proj: []float64{1}}.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := new(LDVBaseline).GobDecode(bad); err == nil {
+		t.Error("decoding inconsistent baseline succeeded")
 	}
 }
 

@@ -1,0 +1,38 @@
+//go:build amd64 && !purego
+
+package cpu
+
+import "os"
+
+// cpuid executes the CPUID instruction for the given leaf and subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0), which reports the
+// vector register state the OS saves and restores across context switches.
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	if os.Getenv("BP_PUREGO") != "" {
+		return
+	}
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return
+	}
+	// XCR0 bits 1 (SSE/XMM) and 2 (AVX/YMM) must both be set: the OS has
+	// to save the full 256-bit state or executing AVX2 faults.
+	if xcr0, _ := xgetbv(); xcr0&0x6 != 0x6 {
+		return
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	Host.AVX2 = ebx7&avx2Bit != 0
+}

@@ -1,0 +1,11 @@
+//go:build arm64 && !purego
+
+package cpu
+
+import "os"
+
+func init() {
+	// Advanced SIMD (NEON) is mandatory in the ARMv8-A baseline that Go's
+	// arm64 port targets, so no probing is needed.
+	Host.NEON = os.Getenv("BP_PUREGO") == ""
+}

@@ -150,14 +150,29 @@ func (m *Machine) NewHierarchy(threads int) (*mem.Hierarchy, error) {
 	if err != nil {
 		return nil, err
 	}
-	return mem.NewHierarchy(mem.HierarchyConfig{
+	return mem.NewHierarchy(m.hierarchyConfig(l1Of, l2Of)), nil
+}
+
+// AcquireHierarchy is NewHierarchy against the hierarchy pool: the
+// returned hierarchy is cold (a reused one is fully Reset) and must be
+// handed back with mem.ReleaseHierarchy after the run.
+func (m *Machine) AcquireHierarchy(threads int) (*mem.Hierarchy, error) {
+	l1Of, l2Of, err := m.Topology(threads)
+	if err != nil {
+		return nil, err
+	}
+	return mem.AcquireHierarchy(m.hierarchyConfig(l1Of, l2Of)), nil
+}
+
+func (m *Machine) hierarchyConfig(l1Of, l2Of []int) mem.HierarchyConfig {
+	return mem.HierarchyConfig{
 		L1Of: l1Of, L2Of: l2Of,
 		L1Bytes: m.L1Bytes, L1Ways: m.L1Ways,
 		L2Bytes: m.L2Bytes, L2Ways: m.L2Ways,
 		L3Bytes: m.L3Bytes, L3Ways: m.L3Ways,
 		PrefetchDegree: m.PrefetchDegree,
 		PrefetchStream: m.PrefetchStream,
-	}), nil
+	}
 }
 
 // IntelI7 returns the Intel Core i7-3770 platform of Table II:

@@ -168,7 +168,8 @@ func (h *Hierarchy) L2Cache(thread int) *Cache { return h.l2[h.cfg.L2Of[thread]]
 func (h *Hierarchy) L3Cache() *Cache { return h.l3 }
 
 // Reset invalidates every cache in the hierarchy and clears the stream
-// detector.
+// detector and undrained prefetch counters, restoring the exact state of
+// a freshly built hierarchy (AcquireHierarchy relies on this).
 func (h *Hierarchy) Reset() {
 	for _, c := range h.l1 {
 		c.Reset()
@@ -180,5 +181,9 @@ func (h *Hierarchy) Reset() {
 	for i := range h.lastLine {
 		h.lastLine[i] = 0
 		h.streak[i] = 0
+	}
+	for i := range h.pfL2 {
+		h.pfL2[i] = 0
+		h.pfL3[i] = 0
 	}
 }

@@ -103,7 +103,13 @@ type Config struct {
 	// need basic-block execution counts, and skipping the memory system
 	// makes them an order of magnitude cheaper.
 	SkipMemory bool
-	Hooks      Hooks
+	// SkipCounters drops the per-region counter assembly: the returned
+	// RunResult has no Regions. Instrumentation-only executions
+	// (pin.Stream) set this — they consume the run entirely through
+	// Hooks and discard the result, so building a counter row per region
+	// would be allocation for nothing.
+	SkipCounters bool
+	Hooks        Hooks
 }
 
 // RegionResult holds the true (noise-free, uninstrumented) counters of one
@@ -152,9 +158,13 @@ func (r *RunResult) Total() machine.Counters {
 }
 
 // partition splits trips into one contiguous chunk per thread (OpenMP
-// static schedule), optionally jittering internal boundaries.
-func partition(trips int64, threads int, jitter *xrand.Rand, frac float64) []int64 {
-	bounds := make([]int64, threads+1)
+// static schedule), optionally jittering internal boundaries. The bounds
+// are written into caller scratch (len threads+1): Run partitions once
+// per work item, and the boundaries are consumed before the next call.
+//
+//bp:noalloc
+func partition(bounds []int64, trips int64, threads int, jitter *xrand.Rand, frac float64) []int64 {
+	bounds = bounds[:threads+1]
 	for i := 0; i <= threads; i++ {
 		bounds[i] = trips * int64(i) / int64(threads)
 	}
@@ -193,16 +203,30 @@ func Run(p *trace.Program, cfg Config) (*RunResult, error) {
 		return nil, fmt.Errorf("omp: binary for %s cannot run on %s (a %s machine)",
 			cfg.Variant.ISA.Name, cfg.Machine.Name, cfg.Machine.ISA.Name)
 	}
-	hier, err := cfg.Machine.NewHierarchy(cfg.Threads)
-	if err != nil {
-		return nil, err
+	// SkipMemory runs never touch the hierarchy: no accesses, no warming
+	// (warmed state would go unread), and zero prefetch stats — exactly
+	// the counters a built-but-untouched hierarchy would report. Skipping
+	// the build makes BBV-only discovery re-runs allocation-free here.
+	var hier *mem.Hierarchy
+	if cfg.SkipMemory {
+		// Still reject thread counts the machine cannot map.
+		if _, _, err := cfg.Machine.Topology(cfg.Threads); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		hier, err = cfg.Machine.AcquireHierarchy(cfg.Threads)
+		if err != nil {
+			return nil, err
+		}
+		defer mem.ReleaseHierarchy(hier)
 	}
 	frac := cfg.JitterFrac
 	if cfg.Jitter != nil && frac == 0 {
 		frac = 0.02
 	}
 
-	if cfg.WarmCaches {
+	if cfg.WarmCaches && hier != nil {
 		for _, d := range p.Data {
 			for i := int64(0); i < d.Lines; i++ {
 				hier.Warm(int(i)%cfg.Threads, d.Base+uint64(i))
@@ -223,6 +247,54 @@ func Run(p *trace.Program, cfg Config) (*RunResult, error) {
 
 	mixes := make([]isa.OpMix, cfg.Threads)
 	events := make([]cpu.MemEvents, cfg.Threads)
+	boundScratch := make([]int64, cfg.Threads+1)
+
+	// One flat backing for every region's per-thread counters: the
+	// RegionResults keep full-capacity subslices of it, so the whole run
+	// costs one allocation instead of one per region.
+	var counterBacking []machine.Counters
+	if !cfg.SkipCounters {
+		counterBacking = make([]machine.Counters, len(p.Regions)*cfg.Threads)
+	}
+
+	// The touch callbacks close over per-thread state that is stable
+	// across regions (&events[t] is re-zeroed in place at each region
+	// start), so one closure per thread serves every work item of the run
+	// instead of allocating one per (region, work item, thread).
+	var touchFns []func(trace.Touch)
+	if !cfg.SkipMemory {
+		touchFns = make([]func(trace.Touch), cfg.Threads)
+		for t := 0; t < cfg.Threads; t++ {
+			t := t
+			ev := &events[t]
+			touchHook := cfg.Hooks.Touch
+			touchFns[t] = func(touch trace.Touch) {
+				level := hier.Access(t, touch.Line)
+				if touch.Chase {
+					switch level {
+					case mem.L2:
+						ev.ChaseL2++
+					case mem.L3:
+						ev.ChaseL3++
+					case mem.Memory:
+						ev.ChaseMem++
+					}
+				} else {
+					switch level {
+					case mem.L2:
+						ev.L2Hits++
+					case mem.L3:
+						ev.L3Hits++
+					case mem.Memory:
+						ev.MemAccesses++
+					}
+				}
+				if touchHook != nil {
+					touchHook(t, touch)
+				}
+			}
+		}
+	}
 
 	for ri := range p.Regions {
 		region := &p.Regions[ri]
@@ -234,7 +306,7 @@ func Run(p *trace.Program, cfg Config) (*RunResult, error) {
 			events[t] = cpu.MemEvents{}
 		}
 		for _, w := range region.Work {
-			bounds := partition(w.Trips, cfg.Threads, cfg.Jitter, frac)
+			bounds := partition(boundScratch, w.Trips, cfg.Threads, cfg.Jitter, frac)
 			for t := 0; t < cfg.Threads; t++ {
 				start, n := bounds[t], bounds[t+1]-bounds[t]
 				if n <= 0 {
@@ -248,40 +320,20 @@ func Run(p *trace.Program, cfg Config) (*RunResult, error) {
 				if cfg.SkipMemory {
 					continue
 				}
-				ev := &events[t]
-				touchHook := cfg.Hooks.Touch
-				trace.EmitTouches(w, start, n, func(touch trace.Touch) {
-					level := hier.Access(t, touch.Line)
-					if touch.Chase {
-						switch level {
-						case mem.L2:
-							ev.ChaseL2++
-						case mem.L3:
-							ev.ChaseL3++
-						case mem.Memory:
-							ev.ChaseMem++
-						}
-					} else {
-						switch level {
-						case mem.L2:
-							ev.L2Hits++
-						case mem.L3:
-							ev.L3Hits++
-						case mem.Memory:
-							ev.MemAccesses++
-						}
-					}
-					if touchHook != nil {
-						touchHook(t, touch)
-					}
-				})
+				trace.EmitTouches(w, start, n, touchFns[t])
 			}
+		}
+		if cfg.SkipCounters {
+			if cfg.Hooks.RegionEnd != nil {
+				cfg.Hooks.RegionEnd(region)
+			}
+			continue
 		}
 		// Threads synchronise at the implicit barrier: every thread's
 		// cycle counter advances to the slowest thread, plus the barrier
 		// cost itself.
 		var maxCycles float64
-		perThread := make([]machine.Counters, cfg.Threads)
+		perThread := counterBacking[ri*cfg.Threads : (ri+1)*cfg.Threads : (ri+1)*cfg.Threads]
 		for t := 0; t < cfg.Threads; t++ {
 			c := model.Cycles(mixes[t], events[t])
 			if c > maxCycles {
@@ -289,7 +341,13 @@ func Run(p *trace.Program, cfg Config) (*RunResult, error) {
 			}
 			// L2 miss PMU events include prefetcher-generated refills;
 			// prefetch fills hide latency, so they do not add to cycles.
-			pf := hier.DrainPrefetchStats(t)
+			// (With SkipMemory there is no hierarchy and no events; the
+			// memory counters stay zero, as an untouched hierarchy would
+			// report.)
+			var pf mem.PrefetchStats
+			if hier != nil {
+				pf = hier.DrainPrefetchStats(t)
+			}
 			perThread[t][machine.Instructions] = mixes[t].Total()
 			perThread[t][machine.L1DMisses] = events[t].L1Misses()
 			perThread[t][machine.L2DMisses] = events[t].L2Misses() + float64(pf.L2FillMisses)

@@ -255,7 +255,7 @@ func TestJitterChangesPartitionNotTotals(t *testing.T) {
 func TestPartitionCoversRange(t *testing.T) {
 	for _, trips := range []int64{0, 1, 7, 100, 9999} {
 		for threads := 1; threads <= 8; threads++ {
-			b := partition(trips, threads, nil, 0)
+			b := partition(make([]int64, threads+1), trips, threads, nil, 0)
 			if b[0] != 0 || b[threads] != trips {
 				t.Fatalf("partition(%d,%d) bounds %v", trips, threads, b)
 			}
@@ -271,7 +271,7 @@ func TestPartitionCoversRange(t *testing.T) {
 func TestPartitionJitterStaysValid(t *testing.T) {
 	r := xrand.New(3)
 	for i := 0; i < 200; i++ {
-		b := partition(10000, 8, r, 0.05)
+		b := partition(make([]int64, 9), 10000, 8, r, 0.05)
 		if b[0] != 0 || b[8] != 10000 {
 			t.Fatalf("jittered bounds lost range: %v", b)
 		}

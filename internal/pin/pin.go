@@ -160,9 +160,20 @@ func Stream(p *trace.Program, cfg omp.Config, opts Options, fn func(Signature)) 
 	// boundary, the backing arrays live for the whole run.
 	bbv := newCollector(threads * nBlocks)
 	ldv := newCollector(threads * NumDistBins)
-	dists := make([]*mem.StackDist, threads)
-	for t := range dists {
-		dists[t] = mem.NewStackDist()
+	// Distance computers exist only when LDVs are collected, and come from
+	// the pool so a run inherits the grown tables of earlier runs instead
+	// of re-growing its own.
+	var dists []*mem.StackDist
+	if !opts.SkipLDV {
+		dists = make([]*mem.StackDist, threads)
+		for t := range dists {
+			dists[t] = mem.AcquireStackDist()
+		}
+		defer func() {
+			for _, d := range dists {
+				mem.ReleaseStackDist(d)
+			}
+		}()
 	}
 	var instr float64
 
@@ -206,6 +217,10 @@ func Stream(p *trace.Program, cfg omp.Config, opts Options, fn func(Signature)) 
 		}
 	}
 	cfg.Hooks = inst.Chain(cfg.Hooks)
+	// Stream discards the RunResult: discovery characterises regions through
+	// the hooks above, so assembling per-region counter records would be
+	// pure allocation churn.
+	cfg.SkipCounters = true
 	_, err := omp.Run(p, cfg)
 	return err
 }

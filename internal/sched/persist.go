@@ -13,7 +13,11 @@ import (
 // spill and reload exactly the values sched.Run produces. The experiments
 // Runner's whole-study entries reuse the core.StudyResult codec.
 func init() {
-	cachestore.RegisterGob[baselineArtifact]("sched.baselineArtifact")
+	// .v2: the baseline artifact's LDV rows changed from raw binned LDVs
+	// to projected rows. The codec name doubles as the wire-format
+	// version, so entries written by older builds are orphaned (and
+	// recomputed) rather than misdecoded.
+	cachestore.RegisterGob[baselineArtifact]("sched.baselineArtifact.v2")
 	cachestore.RegisterGob[core.BarrierPointSet]("core.BarrierPointSet")
 	cachestore.RegisterGob[*core.Collection]("core.Collection")
 	cachestore.RegisterGob[*core.StudyResult]("core.StudyResult")

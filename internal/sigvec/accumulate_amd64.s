@@ -1,0 +1,47 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func accumulateAVX2(out, row []float64, x float64)
+//
+// out[j] += x * row[j] for j in [0, len(out)), len(row) >= len(out).
+//
+// Bit-identical to the scalar loop: each lane computes round(out[j] +
+// round(x*row[j])) with an unfused VMULPD/VADDPD pair (never VFMADD — a
+// fused multiply-add would skip the intermediate rounding and diverge),
+// and lanes never mix, so the per-index accumulation order is exactly the
+// scalar loop's. The 4-wide body is the assembly counterpart of the
+// 4-wide unrolled Go loop.
+TEXT ·accumulateAVX2(SB), NOSPLIT, $0-56
+	MOVQ out_base+0(FP), DI
+	MOVQ out_len+8(FP), CX
+	MOVQ row_base+24(FP), SI
+	VBROADCASTSD x+48(FP), Y0
+	XORQ AX, AX
+
+	MOVQ CX, DX
+	ANDQ $-4, DX  // DX = len &^ 3: end of the 4-wide body
+
+body4:
+	CMPQ AX, DX
+	JGE  tail
+	VMOVUPD (SI)(AX*8), Y1
+	VMULPD  Y0, Y1, Y1
+	VADDPD  (DI)(AX*8), Y1, Y1
+	VMOVUPD Y1, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  body4
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSD (SI)(AX*8), X1
+	VMULSD X0, X1, X1
+	VADDSD (DI)(AX*8), X1, X1
+	VMOVSD X1, (DI)(AX*8)
+	INCQ AX
+	JMP  tail
+
+done:
+	VZEROUPPER
+	RET

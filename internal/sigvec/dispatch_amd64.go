@@ -1,0 +1,22 @@
+//go:build amd64 && !purego
+
+package sigvec
+
+import "barrierpoint/internal/cpu"
+
+// accumulateAVX2 is the AVX2 projection kernel (accumulate_amd64.s).
+//
+//go:noescape
+func accumulateAVX2(out, row []float64, x float64)
+
+// useSIMD selects the vector kernel once at init, after internal/cpu has
+// probed the host (and applied the BP_PUREGO override).
+var useSIMD = cpu.Host.AVX2
+
+// accumulateSIMD dispatches to the host's vector kernel. Only called when
+// useSIMD is true.
+//
+//bp:noalloc
+func accumulateSIMD(out, row []float64, x float64) {
+	accumulateAVX2(out, row, x)
+}

@@ -1,0 +1,24 @@
+//go:build purego || !amd64
+
+package sigvec
+
+// No vector kernel on this build (non-amd64 architecture, or the `purego`
+// scalar-fallback build tag): useSIMD is a constant false, so the
+// compiler removes the dispatch branch and accumulate is exactly the
+// portable scalar loop.
+//
+// arm64 deliberately has no NEON kernel: Go's arm64 assembler only names
+// the fused vector ops (VFMLA/VFMLS), and a fused multiply-add skips the
+// intermediate rounding the scalar loop performs, so it cannot satisfy the
+// general bit-identity contract of accumulate. (For the ±1 projection
+// rows the Projector actually feeds it, x*row is exact and fusion would
+// coincidentally be bit-identical — but hand-encoding unfused fmul/fadd
+// with WORD directives is not verifiable on this project's amd64-only CI,
+// so arm64 stays on the scalar loop. The scalar loop itself blocks
+// compiler FMA fusion with explicit float64 conversions, so arm64 and
+// amd64 produce identical vectors.)
+const useSIMD = false
+
+func accumulateSIMD(out, row []float64, x float64) {
+	panic("sigvec: no SIMD kernel on this build")
+}

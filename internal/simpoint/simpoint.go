@@ -10,6 +10,7 @@ package simpoint
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"barrierpoint/internal/xrand"
 )
@@ -61,30 +62,96 @@ type Result struct {
 	BIC float64
 }
 
+//bp:noalloc
 func sqDist(a, b []float64) float64 {
 	var ss float64
+	b = b[:len(a)] // bounds-check hint
 	for i := range a {
 		d := a[i] - b[i]
-		ss += d * d
+		// The conversion forces the square to round before the add,
+		// blocking compiler FMA fusion (arm64) so every architecture
+		// computes the same distances.
+		ss += float64(d * d)
 	}
 	return ss
 }
 
-// kmeansOnce runs one seeded k-means++ / Lloyd pass and returns the
-// assignment and its distortion (sum of squared distances).
-func kmeansOnce(points []Point, k int, rng *xrand.Rand, maxIter int) ([]int, [][]float64, float64) {
+// Scratch is the reusable working set for Cluster: Lloyd-iteration state
+// and the per-k best-candidate store, all in flat one-slice backings
+// (centroid c of a k-clustering lives at [c*dim:(c+1)*dim] of its block).
+// A Scratch may be reused across studies of any size — grow reslices when
+// capacity suffices and every cell is overwritten before it is read, so a
+// reused Scratch produces bit-identical results to a fresh one (the
+// property test in scratch_test.go holds this). A Scratch is not safe for
+// concurrent use; Cluster draws from an internal pool, ClusterWith takes
+// an explicit one.
+type Scratch struct {
+	cent    []float64 // working centroids, k*dim, for the current k-means run
+	assign  []int     // working assignment, n
+	counts  []int     // per-cluster member counts, k
+	minDist []float64 // k-means++ seeding state, n
+
+	// Best candidate per k, kept across restarts. candAssign row k-1 is
+	// that k's assignment; candCent packs the k*dim centroid blocks
+	// back-to-back (offset dim*k*(k-1)/2); candBIC[k-1] is its score.
+	candAssign []int
+	candCent   []float64
+	candBIC    []float64
+}
+
+// NewScratch returns an empty Scratch; ClusterWith sizes it on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func (s *Scratch) grow(n, dim, maxK int) {
+	s.cent = growFloats(s.cent, maxK*dim)
+	s.assign = growInts(s.assign, n)
+	s.counts = growInts(s.counts, maxK)
+	s.minDist = growFloats(s.minDist, n)
+	s.candAssign = growInts(s.candAssign, maxK*n)
+	s.candCent = growFloats(s.candCent, dim*maxK*(maxK+1)/2)
+	s.candBIC = growFloats(s.candBIC, maxK)
+}
+
+// candCentOff is the offset of k's centroid block in candCent: blocks for
+// 1..k-1 clusters precede it, dim*(1+2+...+(k-1)) floats.
+func candCentOff(k, dim int) int { return dim * (k * (k - 1) / 2) }
+
+var scratchPool = sync.Pool{New: func() any { return &Scratch{} }}
+
+// kmeansOnce runs one seeded k-means++ / Lloyd pass into s.assign and
+// s.cent[:k*dim] and returns the distortion (sum of squared distances).
+// Stale scratch contents never leak into the result: seeding overwrites
+// cent and minDist, the first Lloyd iteration overwrites every assign
+// cell before the update step reads it, and counts are zeroed before
+// accumulation.
+//
+//bp:noalloc
+func (s *Scratch) kmeansOnce(points []Point, k, dim int, rng *xrand.Rand, maxIter int) float64 {
 	n := len(points)
-	dim := len(points[0].Vec)
+	cent := s.cent[:k*dim]
 
 	// k-means++ seeding.
-	centroids := make([][]float64, 0, k)
 	first := rng.Intn(n)
-	centroids = append(centroids, append([]float64(nil), points[first].Vec...))
-	minDist := make([]float64, n)
+	copy(cent[:dim], points[first].Vec)
+	minDist := s.minDist[:n]
 	for i := range minDist {
-		minDist[i] = sqDist(points[i].Vec, centroids[0])
+		minDist[i] = sqDist(points[i].Vec, cent[:dim])
 	}
-	for len(centroids) < k {
+	for nc := 1; nc < k; nc++ {
 		var total float64
 		for _, d := range minDist {
 			total += d
@@ -104,8 +171,8 @@ func kmeansOnce(points []Point, k int, rng *xrand.Rand, maxIter int) ([]int, [][
 				}
 			}
 		}
-		c := append([]float64(nil), points[next].Vec...)
-		centroids = append(centroids, c)
+		c := cent[nc*dim : (nc+1)*dim]
+		copy(c, points[next].Vec)
 		for i := range minDist {
 			if d := sqDist(points[i].Vec, c); d < minDist[i] {
 				minDist[i] = d
@@ -113,14 +180,14 @@ func kmeansOnce(points []Point, k int, rng *xrand.Rand, maxIter int) ([]int, [][
 		}
 	}
 
-	assign := make([]int, n)
-	counts := make([]int, k)
+	assign := s.assign[:n]
+	counts := s.counts[:k]
 	for iter := 0; iter < maxIter; iter++ {
 		changed := false
 		for i := range points {
 			best, bestD := 0, math.Inf(1)
-			for c := range centroids {
-				if d := sqDist(points[i].Vec, centroids[c]); d < bestD {
+			for c := 0; c < k; c++ {
+				if d := sqDist(points[i].Vec, cent[c*dim:(c+1)*dim]); d < bestD {
 					best, bestD = c, d
 				}
 			}
@@ -132,58 +199,63 @@ func kmeansOnce(points []Point, k int, rng *xrand.Rand, maxIter int) ([]int, [][
 		if iter > 0 && !changed {
 			break
 		}
-		for c := range centroids {
-			for j := range centroids[c] {
-				centroids[c][j] = 0
+		for c := 0; c < k; c++ {
+			for j := c * dim; j < (c+1)*dim; j++ {
+				cent[j] = 0
 			}
 			counts[c] = 0
 		}
 		for i, a := range assign {
 			counts[a]++
+			row := cent[a*dim : (a+1)*dim]
 			for j, v := range points[i].Vec {
-				centroids[a][j] += v
+				row[j] += v
 			}
 		}
-		for c := range centroids {
+		for c := 0; c < k; c++ {
 			if counts[c] == 0 {
 				// Re-seed an empty cluster on the farthest point.
 				far, farD := 0, -1.0
 				for i := range points {
-					if d := sqDist(points[i].Vec, centroids[assign[i]]); d > farD {
+					if d := sqDist(points[i].Vec, cent[assign[i]*dim:(assign[i]+1)*dim]); d > farD {
 						far, farD = i, d
 					}
 				}
-				copy(centroids[c], points[far].Vec)
+				copy(cent[c*dim:(c+1)*dim], points[far].Vec)
 				continue
 			}
 			inv := 1 / float64(counts[c])
-			for j := range centroids[c] {
-				centroids[c][j] *= inv
+			for j := c * dim; j < (c+1)*dim; j++ {
+				cent[j] *= inv
 			}
 		}
 	}
 	var distortion float64
 	for i, a := range assign {
-		distortion += sqDist(points[i].Vec, centroids[a])
+		distortion += sqDist(points[i].Vec, cent[a*dim:(a+1)*dim])
 	}
-	_ = dim
-	return assign, centroids, distortion
+	return distortion
 }
 
 // bic scores a clustering with the X-means spherical-Gaussian BIC
-// (Pelleg & Moore), as SimPoint does: higher is better.
-func bic(points []Point, assign []int, centroids [][]float64) float64 {
+// (Pelleg & Moore), as SimPoint does: higher is better. distortion is the
+// sum of squared point-to-centroid distances over assign, which
+// kmeansOnce already accumulated in exactly this per-point order — it is
+// passed in rather than recomputed (n*dim multiplies saved per restart).
+// counts is zeroed and refilled scratch of length k.
+//
+//bp:noalloc
+func bic(points []Point, assign []int, k, dim int, distortion float64, counts []int) float64 {
 	n := len(points)
-	k := len(centroids)
-	dim := len(points[0].Vec)
 	if n <= k {
 		return math.Inf(-1)
 	}
-	var distortion float64
-	counts := make([]int, k)
-	for i, a := range assign {
+	counts = counts[:k]
+	for c := range counts {
+		counts[c] = 0
+	}
+	for _, a := range assign {
 		counts[a]++
-		distortion += sqDist(points[i].Vec, centroids[a])
 	}
 	variance := distortion / float64(dim*(n-k))
 	if variance <= 0 {
@@ -205,8 +277,19 @@ func bic(points []Point, assign []int, centroids [][]float64) float64 {
 
 // Cluster runs the SimPoint-style model selection: for each k in
 // [1, MaxK], the best of Restarts k-means runs is scored with BIC, and the
-// smallest k reaching BICThreshold x best BIC wins.
+// smallest k reaching BICThreshold x best BIC wins. Working storage comes
+// from an internal pool; use ClusterWith to manage it explicitly.
 func Cluster(points []Point, cfg Config) (*Result, error) {
+	s := scratchPool.Get().(*Scratch)
+	res, err := ClusterWith(points, cfg, s)
+	scratchPool.Put(s)
+	return res, err
+}
+
+// ClusterWith is Cluster against caller-owned scratch, for callers that
+// run many studies back to back and want to pin the working set. The
+// result never aliases the scratch.
+func ClusterWith(points []Point, cfg Config, s *Scratch) (*Result, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, fmt.Errorf("simpoint: no points to cluster")
@@ -238,43 +321,44 @@ func Cluster(points []Point, cfg Config) (*Result, error) {
 	if maxK > n {
 		maxK = n
 	}
+	dim := len(points[0].Vec)
+	s.grow(n, dim, maxK)
 	rng := xrand.Derive(cfg.Seed, "simpoint-kmeans")
 
-	type candidate struct {
-		k         int
-		assign    []int
-		centroids [][]float64
-		bic       float64
-	}
-	candidates := make([]candidate, 0, maxK)
 	for k := 1; k <= maxK; k++ {
-		var best *candidate
+		bestSet := false
 		for r := 0; r < cfg.Restarts; r++ {
-			assign, centroids, distortion := kmeansOnce(points, k, rng, cfg.MaxIterations)
-			_ = distortion
-			score := bic(points, assign, centroids)
-			if best == nil || score > best.bic {
-				best = &candidate{k: k, assign: assign, centroids: centroids, bic: score}
+			distortion := s.kmeansOnce(points, k, dim, rng, cfg.MaxIterations)
+			score := bic(points, s.assign[:n], k, dim, distortion, s.counts)
+			if !bestSet || score > s.candBIC[k-1] {
+				bestSet = true
+				s.candBIC[k-1] = score
+				copy(s.candAssign[(k-1)*n:k*n], s.assign[:n])
+				off := candCentOff(k, dim)
+				copy(s.candCent[off:off+k*dim], s.cent[:k*dim])
 			}
 		}
-		candidates = append(candidates, *best)
 	}
 
 	bestBIC := math.Inf(-1)
-	for _, c := range candidates {
-		if c.bic > bestBIC {
-			bestBIC = c.bic
+	for k := 1; k <= maxK; k++ {
+		if s.candBIC[k-1] > bestBIC {
+			bestBIC = s.candBIC[k-1]
 		}
 	}
-	chosen := candidates[len(candidates)-1]
-	for _, c := range candidates {
+	chosen := maxK
+	for k := 1; k <= maxK; k++ {
 		// BIC can be negative; use the SimPoint rule on the score range.
-		if scoreReaches(c.bic, bestBIC, cfg.BICThreshold, candidates[0].bic) {
-			chosen = c
+		if scoreReaches(s.candBIC[k-1], bestBIC, cfg.BICThreshold, s.candBIC[0]) {
+			chosen = k
 			break
 		}
 	}
-	return buildResult(points, chosen.k, chosen.assign, chosen.centroids, chosen.bic), nil
+	off := candCentOff(chosen, dim)
+	return buildResult(points, chosen, dim,
+		s.candAssign[(chosen-1)*n:chosen*n],
+		s.candCent[off:off+chosen*dim],
+		s.candBIC[chosen-1]), nil
 }
 
 // scoreReaches implements SimPoint's "within threshold of the best BIC"
@@ -288,8 +372,10 @@ func scoreReaches(score, best, threshold, worst float64) bool {
 	return norm >= threshold
 }
 
-func buildResult(points []Point, k int, assign []int, centroids [][]float64, score float64) *Result {
-	res := &Result{K: k, Assign: assign, BIC: score}
+// buildResult assembles the Result from the winning candidate. assign and
+// cents alias reusable scratch, so everything the Result keeps is copied.
+func buildResult(points []Point, k, dim int, assign []int, cents []float64, score float64) *Result {
+	res := &Result{K: k, Assign: append([]int(nil), assign...), BIC: score}
 	res.Representatives = make([]int, k)
 	res.Multipliers = make([]float64, k)
 	res.ClusterWeights = make([]float64, k)
@@ -304,7 +390,7 @@ func buildResult(points []Point, k int, assign []int, centroids [][]float64, sco
 	for i, a := range assign {
 		clusterWeight[a] += points[i].Weight
 		totalWeight += points[i].Weight
-		if d := sqDist(points[i].Vec, centroids[a]); d < bestD[a] {
+		if d := sqDist(points[i].Vec, cents[a*dim:(a+1)*dim]); d < bestD[a] {
 			bestD[a] = d
 		}
 	}
@@ -316,7 +402,7 @@ func buildResult(points []Point, k int, assign []int, centroids [][]float64, sco
 	const tie = 1e-12
 	candidates := make([][]int, k)
 	for i, a := range assign {
-		if sqDist(points[i].Vec, centroids[a]) <= bestD[a]+tie {
+		if sqDist(points[i].Vec, cents[a*dim:(a+1)*dim]) <= bestD[a]+tie {
 			candidates[a] = append(candidates[a], i)
 		}
 	}
