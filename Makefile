@@ -14,15 +14,16 @@ PIPELINE_BENCHTIME ?= 5x
 BENCH_OUT ?= BENCH_pipeline.json
 
 .PHONY: ci fmt-check vet lint lint-smoke build test-short test test-race \
-	test-persist test-dist test-obs test-purego bench bench-json \
+	test-persist test-dist test-obs test-sweep test-purego bench bench-json \
 	bench-json-smoke bench-diff
 
 # ci is the tier-1 gate: formatting, static checks (go vet plus the
 # project's own bpvet analyzers), build, fast tests, the race detector
 # over the whole tree, the persistence suite, the distributed-execution
-# suite, the observability suite, the scalar-fallback kernel leg, and a
-# 1x smoke of the bench-json harness so it cannot bit-rot.
-ci: fmt-check vet lint build test-short test-race test-persist test-dist test-obs test-purego bench-json-smoke
+# suite, the observability suite, the batch-sweep suite, the
+# scalar-fallback kernel leg, and a 1x smoke of the bench-json harness so
+# it cannot bit-rot.
+ci: fmt-check vet lint build test-short test-race test-persist test-dist test-obs test-sweep test-purego bench-json-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -98,6 +99,19 @@ test-obs:
 	$(GO) test -race -run 'MetricsEndToEnd|TraceEndToEnd|InlineCollections|DistributedTracePropagation' \
 		./internal/sched/... ./internal/service/...
 
+# test-sweep exercises the batch sweep compiler end to end under the race
+# detector: planner-level dedup/subsumption accounting and the golden
+# batch-vs-serial byte-identity invariant (internal/sched), the
+# POST /studies:batch service surface with cancellation cascades and the
+# 2-worker fleet equivalence run (internal/service), and the runner's
+# batch pre-warm path (internal/experiments).
+# -timeout 30m: the sched leg's golden equivalence runs (batch plus a
+# serial reference per member) exceed go test's default 10m per-package
+# budget under the race detector's ~10x slowdown.
+test-sweep:
+	$(GO) test -race -timeout 30m -run 'Sweep|BatchSweep|BatchStudies|StudySpecs' \
+		./internal/sched/... ./internal/service/... ./internal/experiments/...
+
 # test-purego proves the scalar projection fallback stays healthy on both
 # of its paths: the purego build tag compiles the SIMD kernels out
 # entirely, and BP_PUREGO=1 exercises the runtime override on the normal
@@ -112,8 +126,8 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # bench-json records the signature-pipeline performance trajectory: the
-# mem/pin/sigvec micro-benchmarks plus end-to-end discovery, parsed into
-# BENCH_pipeline.json (fails if any benchmark fails or produces no
+# mem/pin/sigvec micro-benchmarks, the sweep-planner compile benchmark,
+# plus end-to-end discovery, parsed into BENCH_pipeline.json (fails if any benchmark fails or produces no
 # results). Each invocation APPENDS a run entry to the trajectory, so the
 # history across PRs is preserved; see cmd/benchjson. The end-to-end
 # discovery benchmark runs in its own invocation at PIPELINE_BENCHTIME
@@ -123,6 +137,8 @@ bench-json:
 	{ $(GO) test -run '^$$' -benchmem -benchtime $(BENCHTIME) \
 		-bench 'StackDist|^BenchmarkStream|BuildReference|BuilderSparse|BuilderDense' \
 		./internal/mem ./internal/pin ./internal/sigvec; \
+	  $(GO) test -run '^$$' -benchmem -benchtime $(BENCHTIME) \
+		-bench 'SweepPlanner' ./internal/sched; \
 	  $(GO) test -run '^$$' -benchmem -benchtime $(PIPELINE_BENCHTIME) \
 		-bench 'DiscoveryPipeline' .; } \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT)

@@ -11,6 +11,7 @@
 //	bpexperiments -exp table4          # one experiment
 //	bpexperiments -exp all             # everything (slow: full sweep)
 //	bpexperiments -exp fig2 -quick     # reduced sweep for a fast look
+//	bpexperiments -batch               # pre-plan the study sweep as one DAG
 //	bpexperiments -unit-workers 16     # widen the scheduler
 //	bpexperiments -workers host1:8081,host2:8081   # shard units across bpworkers
 //	bpexperiments -list                # available experiments
@@ -41,6 +42,7 @@ func main() {
 		workers     = flag.String("workers", "", "comma-separated bpworker addresses (host:port,...) to shard units across (empty = in-process)")
 		winflight   = flag.Int("worker-inflight", 0, "concurrent units dispatched per remote worker (0 = default 4)")
 		serial      = flag.Bool("serial", false, "render experiments one at a time (same output, for timing comparisons)")
+		batch       = flag.Bool("batch", false, "pre-plan the whole study sweep as one deduplicated unit DAG before rendering (same output)")
 		list        = flag.Bool("list", false, "list experiments and exit")
 		cacheDir    = flag.String("cache-dir", "", "persistent cache directory shared across invocations (empty = memory only)")
 		cacheMax    = flag.Int64("cache-max-bytes", 0, "persistent cache size bound in bytes (0 = unbounded)")
@@ -119,6 +121,26 @@ func main() {
 		}
 	} else {
 		runner = experiments.NewRunner(cfg)
+	}
+
+	if *batch {
+		// Batch mode: compile the full evaluation sweep into one
+		// deduplicated unit DAG and execute it up front, so the renderers
+		// below hit the cache for every study. Output is unchanged — the
+		// batch plan feeds the same whole-study cache entries.
+		specs := runner.Config().StudySpecs()
+		t0 := time.Now()
+		if _, stats, err := runner.BatchStudies(specs); err != nil {
+			fmt.Fprintln(os.Stderr, "bpexperiments:", err)
+			if cerr := runner.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "bpexperiments: closing cache:", cerr)
+			}
+			os.Exit(1)
+		} else {
+			fmt.Fprintf(os.Stderr, "[batch: %d studies planned as %d units (%d naive, %d deduped, %d subsumed) in %v]\n",
+				stats.Studies, stats.PlannedUnits, stats.NaiveUnits, stats.DedupedUnits,
+				stats.SubsumedUnits, time.Since(t0).Round(time.Millisecond))
+		}
 	}
 
 	// Experiments render into per-experiment buffers so they can run

@@ -26,6 +26,10 @@
 //
 //	curl -s -X POST localhost:8080/studies \
 //	     -d '{"app":"MCB","threads":8,"runs":10,"reps":20,"seed":2017,"priority":5}'
+//	curl -s -X POST localhost:8080/studies:batch \
+//	     -d '{"studies":[{"app":"MCB","threads":2},{"app":"MCB","threads":8}]}'
+//	curl -s localhost:8080/sweeps/sw-000001             # per-study sweep progress
+//	curl -s -X DELETE localhost:8080/sweeps/sw-000001   # cancel, cascades to members
 //	curl -s localhost:8080/studies/s-000001             # live progress while running
 //	curl -s 'localhost:8080/studies/s-000001?wait=30s'  # long-poll for the next change
 //	curl -s -X DELETE localhost:8080/studies/s-000001   # cancel
@@ -77,6 +81,7 @@ func main() {
 		cacheMax    = flag.Int64("cache-max-bytes", 0, "persistent cache size bound in bytes (0 = unbounded)")
 		priority    = flag.Int("priority", 0,
 			fmt.Sprintf("default priority band for submissions that omit one (higher starts first, ±%d)", service.MaxPriority))
+		maxSweep  = flag.Int("max-sweep-studies", 0, "member studies allowed per POST /studies:batch sweep (0 = default 64)")
 		debugAddr = flag.String("debug-addr", "", "optional address serving net/http/pprof at /debug/pprof/ (empty = disabled)")
 		logLevel  = flag.String("log-level", "info", "minimum structured-event severity (debug|info|warn|error)")
 	)
@@ -105,6 +110,7 @@ func main() {
 		DefaultPriority: *priority,
 		WorkerURLs:      workerURLs,
 		WorkerInflight:  *winflight,
+		MaxSweepStudies: *maxSweep,
 		Log:             logger,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 // Command bpstat prints a one-shot fleet snapshot of a running bpserved
 // coordinator for operators without a Prometheus stack: job and queue
-// state per priority band, completed units by kind, cache hit rates
+// state per priority band, batch sweep counts with the planner's
+// dedup/subsumption ratios, completed units by kind, cache hit rates
 // (memory and disk), and per-worker dispatch health including
 // quarantine deadlines. It reads the same GET /healthz and GET /metrics
 // endpoints a monitoring stack would scrape, so it needs no extra
@@ -48,9 +49,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bpstat:", err)
 		os.Exit(1)
 	}
-	// Metrics are additive detail (per-kind unit counts); a coordinator
-	// that serves /healthz but not /metrics still gets a snapshot.
-	units, unitErrs, merr := fetchUnitCounts(client, base)
+	// Metrics are additive detail (per-kind unit counts, planner
+	// accounting); a coordinator that serves /healthz but not /metrics
+	// still gets a snapshot.
+	units, unitErrs, sweeps, merr := fetchUnitCounts(client, base)
 
 	up := time.Duration(h.UptimeSeconds * float64(time.Second)).Round(time.Second)
 	fmt.Printf("bpserved at %s — status %s, up %s\n\n", base, h.Status, up)
@@ -69,6 +71,25 @@ func main() {
 		fmt.Printf("  band %d: %d", band, h.QueueByPriority[band])
 	}
 	fmt.Println()
+
+	// Sweeps appear once the coordinator has seen a batch submission.
+	if len(h.Sweeps) > 0 {
+		fmt.Printf("sweeps  ")
+		for _, st := range []service.State{
+			service.StateQueued, service.StateRunning, service.StateDone,
+			service.StateFailed, service.StateCancelled,
+		} {
+			fmt.Printf("  %s %d", st, h.Sweeps[st])
+		}
+		fmt.Println()
+		if merr == nil && sweeps.naive() > 0 {
+			naive := sweeps.naive()
+			fmt.Printf("planner   %.0f units planned of %.0f naive   deduped %.0f (%.1f%%)   subsumed %.0f (%.1f%%)\n",
+				sweeps.planned, naive,
+				sweeps.deduped, 100*sweeps.deduped/naive,
+				sweeps.subsumed, 100*sweeps.subsumed/naive)
+		}
+	}
 
 	if merr == nil && len(units) > 0 {
 		fmt.Printf("units   ")
@@ -127,22 +148,32 @@ func fetchHealth(client *http.Client, base string) (*service.Health, error) {
 	return &h, nil
 }
 
-// fetchUnitCounts scrapes /metrics for the per-kind unit counters. The
-// parse is deliberately minimal: sample lines only, looking for exactly
-// the bp_sched_unit_seconds_count and bp_sched_unit_errors_total
-// families.
-func fetchUnitCounts(client *http.Client, base string) (map[string]float64, float64, error) {
+// sweepCounters aggregates the sweep planner's bp_sweep_units_* counters.
+type sweepCounters struct {
+	planned, deduped, subsumed float64
+}
+
+// naive is the unit count the sweep's studies would have submitted
+// one-at-a-time; the dedup and subsumption ratios are relative to it.
+func (s sweepCounters) naive() float64 { return s.planned + s.deduped + s.subsumed }
+
+// fetchUnitCounts scrapes /metrics for the per-kind unit counters and the
+// sweep planner's accounting. The parse is deliberately minimal: sample
+// lines only, looking for exactly the bp_sched_unit_seconds_count,
+// bp_sched_unit_errors_total and bp_sweep_units_* families.
+func fetchUnitCounts(client *http.Client, base string) (map[string]float64, float64, sweepCounters, error) {
+	var sweeps sweepCounters
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, sweeps, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, 0, fmt.Errorf("GET /metrics: %s", resp.Status)
+		return nil, 0, sweeps, fmt.Errorf("GET /metrics: %s", resp.Status)
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, sweeps, err
 	}
 	units := map[string]float64{}
 	var unitErrs float64
@@ -166,9 +197,15 @@ func fetchUnitCounts(client *http.Client, base string) (map[string]float64, floa
 			}
 		case strings.HasPrefix(name, "bp_sched_unit_errors_total"):
 			unitErrs += v
+		case name == "bp_sweep_units_planned_total":
+			sweeps.planned = v
+		case name == "bp_sweep_units_deduped_total":
+			sweeps.deduped = v
+		case name == "bp_sweep_units_subsumed_total":
+			sweeps.subsumed = v
 		}
 	}
-	return units, unitErrs, nil
+	return units, unitErrs, sweeps, nil
 }
 
 // labelValue extracts one label's value from a series name like

@@ -150,24 +150,62 @@ func (r *Runner) Config() Config { return r.cfg }
 // CacheStats reports the shared result cache's counters.
 func (r *Runner) CacheStats() resultcache.Stats { return r.cache.Stats() }
 
+// StudySpec names one member study of a sweep by the triple the runner
+// derives everything else from (runs, reps, seed and clustering come from
+// the runner's Config).
+type StudySpec struct {
+	App        string
+	Threads    int
+	Vectorised bool
+}
+
+// StudySpecs enumerates the configuration's full evaluation sweep: every
+// evaluated Table I application crossed with every configured thread
+// count, scalar and vectorised — the same studies Table III, Table IV and
+// Figure 2 consume one at a time.
+func (c Config) StudySpecs() []StudySpec {
+	c = c.withDefaults()
+	var specs []StudySpec
+	for _, a := range apps.Evaluated() {
+		for _, threads := range c.Threads {
+			for _, vect := range []bool{false, true} {
+				specs = append(specs, StudySpec{App: a.Name, Threads: threads, Vectorised: vect})
+			}
+		}
+	}
+	return specs
+}
+
+// specRequest builds the scheduler request for one spec. Study and
+// BatchStudies share it, so a batch-planned study addresses exactly the
+// cache entries a serial Study call reads and writes.
+//
+//bp:keyfields StudySpec
+func (r *Runner) specRequest(sp StudySpec) (sched.StudyRequest, error) {
+	a, err := apps.ByName(sp.App)
+	if err != nil {
+		return sched.StudyRequest{}, err
+	}
+	return sched.StudyRequest{
+		App:   sp.App,
+		Build: a.Build,
+		Config: core.StudyConfig{
+			Threads:    sp.Threads,
+			Vectorised: sp.Vectorised,
+			Runs:       r.cfg.Runs,
+			Reps:       r.cfg.Reps,
+			Seed:       r.cfg.Seed ^ uint64(sp.Threads)<<32 ^ boolBit(sp.Vectorised)<<48 ^ hashName(sp.App),
+			MaxK:       r.cfg.MaxK,
+		},
+	}, nil
+}
+
 // Study returns the cached cross-architecture study for one configuration,
 // running it on the scheduler on first use.
 func (r *Runner) Study(app string, threads int, vectorised bool) (*core.StudyResult, error) {
-	a, err := apps.ByName(app)
+	req, err := r.specRequest(StudySpec{App: app, Threads: threads, Vectorised: vectorised})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: study %s/%dt/vect=%v: %w", app, threads, vectorised, err)
-	}
-	req := sched.StudyRequest{
-		App:   app,
-		Build: a.Build,
-		Config: core.StudyConfig{
-			Threads:    threads,
-			Vectorised: vectorised,
-			Runs:       r.cfg.Runs,
-			Reps:       r.cfg.Reps,
-			Seed:       r.cfg.Seed ^ uint64(threads)<<32 ^ boolBit(vectorised)<<48 ^ hashName(app),
-			MaxK:       r.cfg.MaxK,
-		},
 	}
 	// Memoise under the scheduler's own whole-study key: it carries the
 	// program fingerprints and the full configuration, so a persistent
@@ -190,6 +228,46 @@ func (r *Runner) Study(app string, threads int, vectorised bool) (*core.StudyRes
 		return nil, fmt.Errorf("experiments: study %s/%dt/vect=%v: %w", app, threads, vectorised, err)
 	}
 	return v.(*core.StudyResult), nil
+}
+
+// BatchStudies plans and executes the specs as one deduplicated sweep:
+// the whole batch is compiled into a single unit DAG (sched.CompileSweep)
+// so discovery runs, collections and baselines shared between member
+// studies execute exactly once, with subsumption slicing larger discovery
+// sweeps for smaller siblings. Results return in spec order and land in
+// the same whole-study cache entries Study reads, so subsequent Study
+// calls for any member hit. The first member error aborts with that
+// error; the returned PlanStats report the compiler's dedup accounting
+// either way.
+func (r *Runner) BatchStudies(specs []StudySpec) ([]*core.StudyResult, sched.PlanStats, error) {
+	reqs := make([]sched.StudyRequest, len(specs))
+	for i, sp := range specs {
+		req, err := r.specRequest(sp)
+		if err != nil {
+			return nil, sched.PlanStats{}, fmt.Errorf("experiments: study %s/%dt/vect=%v: %w",
+				sp.App, sp.Threads, sp.Vectorised, err)
+		}
+		reqs[i] = req
+	}
+	plan, err := sched.CompileSweep(context.Background(), reqs, r.schedOptions())
+	if err != nil {
+		return nil, sched.PlanStats{}, fmt.Errorf("experiments: compiling %d-study sweep: %w", len(specs), err)
+	}
+	stats := plan.Stats()
+	outcomes, err := plan.Execute(context.Background(), sched.SweepOptions{})
+	if err != nil {
+		return nil, stats, fmt.Errorf("experiments: executing %d-study sweep: %w", len(specs), err)
+	}
+	results := make([]*core.StudyResult, len(outcomes))
+	for i, out := range outcomes {
+		if out.Err != nil {
+			sp := specs[i]
+			return nil, stats, fmt.Errorf("experiments: study %s/%dt/vect=%v: %w",
+				sp.App, sp.Threads, sp.Vectorised, out.Err)
+		}
+		results[i] = out.Result
+	}
+	return results, stats, nil
 }
 
 // Discover runs Step 2 for one builder on the scheduler, memoising the

@@ -113,7 +113,14 @@ func studyKeyFingerprints(req StudyRequest) (key resultcache.Key, fpX86, fpARM s
 	if fpARM, err = fingerprint(req.App, req.Build, cfg.Threads, colCfgs[1].Variant); err != nil {
 		return "", "", "", err
 	}
-	return resultcache.NewKey("study", fpX86, fpARM, fmt.Sprintf("%#v", cfg)), fpX86, fpARM, nil
+	return studyKeyFrom(fpX86, fpARM, cfg), fpX86, fpARM, nil
+}
+
+// studyKeyFrom builds the whole-study cache key from precomputed
+// fingerprints; studyKeyFingerprints and the sweep compiler share it so
+// batch and serial submission address identical cache entries.
+func studyKeyFrom(fpX86, fpARM string, cfg core.StudyConfig) resultcache.Key {
+	return resultcache.NewKey("study", fpX86, fpARM, fmt.Sprintf("%#v", cfg))
 }
 
 // StudyUnits returns how many units of work a study decomposes into: one

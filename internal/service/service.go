@@ -5,11 +5,25 @@
 // renders finished studies via internal/report. The API is JSON:
 //
 //	POST   /studies             submit a study        → 202 + job status
+//	POST   /studies:batch       submit a whole sweep  → 202 + sweep status
 //	GET    /studies             list all jobs         → 200 + statuses
 //	GET    /studies/{id}        poll one job          → 200 + job status
 //	DELETE /studies/{id}        cancel one job        → 200/202 + job status
 //	GET    /studies/{id}/report render a finished job → 200 text/plain
+//	GET    /sweeps              list all sweeps       → 200 + sweep statuses
+//	GET    /sweeps/{id}         poll one sweep        → 200 + sweep status
+//	DELETE /sweeps/{id}         cancel one sweep      → 200/202 + sweep status
 //	GET    /healthz             liveness + counters   → 200 + health
+//
+// POST /studies:batch accepts a list of study configurations and compiles
+// the whole sweep server-side into one deduplicated unit DAG
+// (sched.CompileSweep) before execution: units shared between member
+// studies execute exactly once, discovery sweeps over different run
+// counts are subsumed into the superset, and every member's report stays
+// byte-identical to serial one-at-a-time submission. Members appear as
+// ordinary jobs (with a "sweep" field) and stream to done as they
+// complete; DELETE on the sweep cascades to every member, DELETE on a
+// member prunes just that member's work from the running DAG.
 //
 // GET /studies/{id} long-polls with ?wait=<dur>: the response is held
 // back until the job's state or progress changes (or the wait elapses),
@@ -123,6 +137,9 @@ type JobStatus struct {
 	Error string `json:"error,omitempty"`
 	// Summary digests a finished study.
 	Summary *core.Summary `json:"summary,omitempty"`
+	// Sweep names the sweep this job is a member of, for jobs submitted
+	// through POST /studies:batch.
+	Sweep string `json:"sweep,omitempty"`
 }
 
 // Health is the GET /healthz body.
@@ -135,9 +152,12 @@ type Health struct {
 	// QueueDepth is the number of submitted-but-unstarted jobs;
 	// QueueByPriority breaks it down per scheduling band (bands with
 	// queued jobs only — JSON object keys are the band numbers).
-	QueueDepth      int               `json:"queue_depth"`
-	QueueByPriority map[int]int       `json:"queue_by_priority,omitempty"`
-	Cache           resultcache.Stats `json:"cache"`
+	QueueDepth      int         `json:"queue_depth"`
+	QueueByPriority map[int]int `json:"queue_by_priority,omitempty"`
+	// Sweeps counts batch sweeps per state (queued/running/…), so
+	// operators see sweep backlog alongside the per-job queue depths.
+	Sweeps map[State]int     `json:"sweeps,omitempty"`
+	Cache  resultcache.Stats `json:"cache"`
 	// Distributed reports per-worker health and dispatch counters when
 	// the server runs with a remote worker fleet; nil in local mode.
 	Distributed *sched.RemoteStats `json:"distributed,omitempty"`
@@ -158,6 +178,15 @@ type job struct {
 	// cancelled study apart from one that failed on its own, and skip a
 	// job whose cancellation raced with its dequeue.
 	cancelRequested bool
+	// memberOf/memberIdx tie a batch-submitted job to its sweep and its
+	// index in the sweep's plan; nil/0 for ordinary submissions. Set
+	// before the job is published, immutable after.
+	memberOf  *sweep
+	memberIdx int
+	// carries marks a sweep's queue carrier: the pseudo-job that holds
+	// the sweep's place in the priority queue. Carriers never appear in
+	// the job list.
+	carries *sweep
 }
 
 // bumpLocked records a visible change: the version increments and any
@@ -276,6 +305,9 @@ type Config struct {
 	// WorkerInflight bounds concurrent units dispatched per remote
 	// worker (default 4). Only meaningful with WorkerURLs.
 	WorkerInflight int
+	// MaxSweepStudies bounds how many member studies one POST
+	// /studies:batch may carry (default 64).
+	MaxSweepStudies int
 	// Now overrides the clock, for tests. Defaults to time.Now.
 	Now func() time.Time
 	// Log sinks server diagnostics (job transitions, dispatch failures,
@@ -328,6 +360,19 @@ type Server struct {
 	order   []string
 	nextID  int
 	maxJobs int
+
+	// Batch sweeps: records behind GET /sweeps/{id}, retention order,
+	// sizing, and the bp_sweep_* metric handles (see sweep.go).
+	sweeps          map[string]*sweep
+	sweepOrder      []string
+	nextSweepID     int
+	maxSweepStudies int
+	sweepsTotal     *obs.CounterVec
+	sweepStudies    *obs.Histogram
+	sweepPlanSecs   *obs.Histogram
+	sweepPlanned    *obs.Counter
+	sweepDeduped    *obs.Counter
+	sweepSubsumed   *obs.Counter
 }
 
 // New starts a Server with cfg's sizing. The only fallible part is
@@ -381,8 +426,13 @@ func New(cfg Config) (*Server, error) {
 		cancel:     cancel,
 		queue:      newJobQueue(cfg.QueueDepth),
 		jobs:       make(map[string]*job),
+		sweeps:     make(map[string]*sweep),
 	}
 	s.maxJobs = cfg.MaxJobs
+	s.maxSweepStudies = cfg.MaxSweepStudies
+	if s.maxSweepStudies <= 0 {
+		s.maxSweepStudies = 64
+	}
 	s.opts.Cache = s.cache
 	s.opts.Metrics = sched.NewMetrics(s.reg)
 	s.jobsTotal = s.reg.CounterVec("bp_jobs_total",
@@ -398,6 +448,7 @@ func New(cfg Config) (*Server, error) {
 		now: s.now,
 	})
 	registerCacheMetrics(s.reg, s.cache)
+	s.registerSweepMetrics()
 	if len(cfg.WorkerURLs) > 0 {
 		// Distributed mode: units go to the fleet, with the server's own
 		// cache as the dispatch-side memo and the fallback's substrate.
@@ -428,6 +479,10 @@ func (s *Server) Close() {
 	s.cancel()
 	s.wg.Wait()
 	for _, j := range drained {
+		if sw := j.carries; sw != nil {
+			s.abortQueuedSweep(sw, errServerClosed)
+			continue
+		}
 		s.markTerminal(j, StateCancelled, errServerClosed)
 	}
 	if err := s.cache.Close(); err != nil {
@@ -480,6 +535,10 @@ func (s *Server) execute() {
 		if !ok {
 			return
 		}
+		if j.carries != nil {
+			s.runSweep(j.carries)
+			continue
+		}
 		s.runJob(j)
 	}
 }
@@ -506,14 +565,7 @@ func (s *Server) runJob(j *job) {
 	j.status.StartedAt = &started
 	id := j.status.ID
 	req := j.status.Request
-	cfg := core.StudyConfig{
-		Threads:    req.Threads,
-		Vectorised: req.Vectorised,
-		Runs:       req.Runs,
-		Reps:       req.Reps,
-		Seed:       req.Seed,
-		MaxK:       req.MaxK,
-	}
+	cfg := studyConfig(req)
 	j.status.Progress = &Progress{UnitsTotal: sched.StudyUnits(cfg)}
 	j.bumpLocked()
 	j.mu.Unlock()
@@ -579,14 +631,14 @@ func (s *Server) runStudy(ctx context.Context, j *job, app string, cfg core.Stud
 	}, opts)
 }
 
-// submit validates and enqueues one study, returning its initial status.
-func (s *Server) submit(req SubmitRequest) (JobStatus, int, error) {
+// validateSubmit checks one study submission's fields and resolves its
+// effective scheduling band; submit and the batch endpoint share it.
+func (s *Server) validateSubmit(req SubmitRequest) (int, error) {
 	if _, err := apps.ByName(req.App); err != nil {
-		return JobStatus{}, http.StatusBadRequest, err
+		return 0, err
 	}
 	if req.Threads <= 0 || req.Threads > MaxThreads {
-		return JobStatus{}, http.StatusBadRequest,
-			fmt.Errorf("service: threads must be in [1, %d], got %d", MaxThreads, req.Threads)
+		return 0, fmt.Errorf("service: threads must be in [1, %d], got %d", MaxThreads, req.Threads)
 	}
 	for _, lim := range []struct {
 		name string
@@ -598,17 +650,36 @@ func (s *Server) submit(req SubmitRequest) (JobStatus, int, error) {
 		{"max_k", req.MaxK, MaxMaxK},
 	} {
 		if lim.v < 0 || lim.v > lim.max {
-			return JobStatus{}, http.StatusBadRequest,
-				fmt.Errorf("service: %s must be in [0, %d], got %d", lim.name, lim.max, lim.v)
+			return 0, fmt.Errorf("service: %s must be in [0, %d], got %d", lim.name, lim.max, lim.v)
 		}
 	}
 	pri := s.defaultPri
 	if req.Priority != nil {
 		if *req.Priority < -MaxPriority || *req.Priority > MaxPriority {
-			return JobStatus{}, http.StatusBadRequest,
-				fmt.Errorf("service: priority must be in [%d, %d], got %d", -MaxPriority, MaxPriority, *req.Priority)
+			return 0, fmt.Errorf("service: priority must be in [%d, %d], got %d", -MaxPriority, MaxPriority, *req.Priority)
 		}
 		pri = *req.Priority
+	}
+	return pri, nil
+}
+
+// studyConfig maps a submission's tuning fields onto a StudyConfig.
+func studyConfig(req SubmitRequest) core.StudyConfig {
+	return core.StudyConfig{
+		Threads:    req.Threads,
+		Vectorised: req.Vectorised,
+		Runs:       req.Runs,
+		Reps:       req.Reps,
+		Seed:       req.Seed,
+		MaxK:       req.MaxK,
+	}
+}
+
+// submit validates and enqueues one study, returning its initial status.
+func (s *Server) submit(req SubmitRequest) (JobStatus, int, error) {
+	pri, err := s.validateSubmit(req)
+	if err != nil {
+		return JobStatus{}, http.StatusBadRequest, err
 	}
 
 	j := &job{status: JobStatus{
@@ -643,6 +714,11 @@ func (s *Server) submit(req SubmitRequest) (JobStatus, int, error) {
 // Cancelling an already-cancelled job is a no-op; done/failed jobs
 // conflict.
 func (s *Server) cancelJob(j *job) (JobStatus, int, error) {
+	// Sweep members never sit in the queue themselves; their cancellation
+	// goes through the sweep's plan.
+	if j.memberOf != nil {
+		return s.cancelMember(j)
+	}
 	// Pull it from the queue first (queue lock only — never nested with
 	// j.mu). Success means no executor will ever see the job.
 	if s.queue.remove(j) {
@@ -726,7 +802,12 @@ func (s *Server) snapshotJobs() []JobStatus {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /studies", s.handleSubmit)
+	mux.HandleFunc("POST /studies:batch", s.handleBatchSubmit)
 	mux.HandleFunc("GET /studies", s.handleList)
+	mux.HandleFunc("GET /sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /sweeps/{id}", s.handleSweepStatus)
+	mux.HandleFunc("DELETE /sweeps/{id}", s.handleSweepCancel)
+	mux.HandleFunc("GET /sweeps/{id}/trace", s.handleSweepTrace)
 	mux.HandleFunc("GET /studies/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /studies/{id}", s.handleCancel)
 	mux.HandleFunc("GET /studies/{id}/report", s.handleReport)
@@ -899,6 +980,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Jobs:            counts,
 		QueueDepth:      s.queue.len(),
 		QueueByPriority: s.queue.bands(),
+		Sweeps:          s.sweepCounts(),
 		Cache:           s.cache.Stats(),
 	}
 	if s.remote != nil {
